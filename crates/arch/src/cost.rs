@@ -1,0 +1,111 @@
+//! Cost estimates produced by platform models.
+
+use m7_units::{Joules, OpsPerSecond, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Which roof limited the kernel on the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Limited by peak arithmetic throughput.
+    Compute,
+    /// Limited by memory bandwidth.
+    Memory,
+    /// Limited by the non-parallelizable fraction (Amdahl).
+    Serial,
+    /// Limited by dispatch/launch overhead.
+    Overhead,
+}
+
+impl core::fmt::Display for Bound {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::Compute => "compute-bound",
+            Self::Memory => "memory-bound",
+            Self::Serial => "serial-bound",
+            Self::Overhead => "overhead-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The modeled cost of one kernel invocation on one platform.
+///
+/// # Examples
+///
+/// ```
+/// use m7_arch::platform::{Platform, PlatformKind};
+/// use m7_arch::workload::KernelProfile;
+///
+/// let cpu = Platform::preset(PlatformKind::CpuScalar);
+/// let cost = cpu.estimate(&KernelProfile::gemv(512, 512));
+/// assert!(cost.latency.value() > 0.0);
+/// assert!(cost.energy.value() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostEstimate {
+    /// Wall-clock latency of the invocation.
+    pub latency: Seconds,
+    /// Energy drawn during the invocation.
+    pub energy: Joules,
+    /// Achieved throughput (`ops / latency`).
+    pub achieved: OpsPerSecond,
+    /// Average power during the invocation.
+    pub power: Watts,
+    /// The limiting roof.
+    pub bound: Bound,
+}
+
+impl CostEstimate {
+    /// Ratio of another estimate's latency to this one (how many times
+    /// faster this estimate is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this estimate's latency is zero.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &Self) -> f64 {
+        assert!(self.latency.value() > 0.0, "latency must be positive");
+        baseline.latency / self.latency
+    }
+
+    /// Energy-delay product, a common accelerator figure of merit.
+    #[must_use]
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.value() * self.latency.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(latency: f64, energy: f64) -> CostEstimate {
+        CostEstimate {
+            latency: Seconds::new(latency),
+            energy: Joules::new(energy),
+            achieved: OpsPerSecond::new(1.0 / latency),
+            power: Watts::new(energy / latency),
+            bound: Bound::Compute,
+        }
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = estimate(0.001, 0.1);
+        let slow = estimate(0.01, 0.1);
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp() {
+        let e = estimate(2.0, 3.0);
+        assert_eq!(e.energy_delay_product(), 6.0);
+    }
+
+    #[test]
+    fn bound_display() {
+        assert_eq!(Bound::Memory.to_string(), "memory-bound");
+        assert_eq!(Bound::Overhead.to_string(), "overhead-bound");
+    }
+}

@@ -1,0 +1,137 @@
+//! A two-level memory-hierarchy model: effective bandwidth as a function
+//! of working-set size.
+//!
+//! Roofline bandwidth is not one number — it depends on where the working
+//! set lives. This model gives cost estimation a principled way to pick
+//! the bandwidth a kernel actually sees, and quantifies why the batched
+//! collision checker (working set = obstacle SoA, a few KiB) runs so far
+//! above DRAM speed.
+
+use m7_units::{Bytes, BytesPerSecond};
+use serde::{Deserialize, Serialize};
+
+/// A two-level (SRAM + DRAM) hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    /// On-chip SRAM capacity.
+    pub sram: Bytes,
+    /// SRAM bandwidth.
+    pub sram_bandwidth: BytesPerSecond,
+    /// DRAM bandwidth.
+    pub dram_bandwidth: BytesPerSecond,
+}
+
+impl CacheHierarchy {
+    /// A representative embedded hierarchy: 1 MiB of SRAM at 400 GB/s over
+    /// 25 GB/s DRAM.
+    #[must_use]
+    pub fn embedded() -> Self {
+        Self {
+            sram: Bytes::from_mebibytes(1.0),
+            sram_bandwidth: BytesPerSecond::from_gigabytes_per_second(400.0),
+            dram_bandwidth: BytesPerSecond::from_gigabytes_per_second(25.0),
+        }
+    }
+
+    /// Fraction of accesses served from SRAM for a uniformly re-walked
+    /// working set of the given size: 1.0 when it fits, decaying with the
+    /// capacity ratio when it does not (a standard capacity-miss model).
+    #[must_use]
+    pub fn hit_rate(&self, working_set: Bytes) -> f64 {
+        if working_set.value() <= 0.0 {
+            return 1.0;
+        }
+        if working_set <= self.sram {
+            1.0
+        } else {
+            // The cached fraction of the set survives each sweep.
+            self.sram / working_set
+        }
+    }
+
+    /// Effective sustained bandwidth for a working set of the given size
+    /// (harmonic blend of SRAM and DRAM service rates).
+    #[must_use]
+    pub fn effective_bandwidth(&self, working_set: Bytes) -> BytesPerSecond {
+        let h = self.hit_rate(working_set);
+        let inv = h / self.sram_bandwidth.value() + (1.0 - h) / self.dram_bandwidth.value();
+        BytesPerSecond::new(1.0 / inv)
+    }
+
+    /// The working-set size at which effective bandwidth has fallen
+    /// halfway (in rate) from SRAM toward DRAM — the hierarchy's "cliff
+    /// edge" for blocking decisions.
+    #[must_use]
+    pub fn half_speed_working_set(&self) -> Bytes {
+        // Solve effective(ws) = 2·dram (≈ halfway in harmonic terms) for
+        // ws > sram: h = sram/ws.
+        let target_inv = 1.0 / (2.0 * self.dram_bandwidth.value());
+        // h/sbw + (1-h)/dbw = target_inv  →  h = (1/dbw − target_inv) /
+        // (1/dbw − 1/sbw)
+        let h = (1.0 / self.dram_bandwidth.value() - target_inv)
+            / (1.0 / self.dram_bandwidth.value() - 1.0 / self.sram_bandwidth.value());
+        Bytes::new(self.sram.value() / h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn resident_sets_run_at_sram_speed() {
+        let h = CacheHierarchy::embedded();
+        let bw = h.effective_bandwidth(Bytes::from_kibibytes(64.0));
+        assert_eq!(bw, h.sram_bandwidth);
+        assert_eq!(h.hit_rate(Bytes::ZERO), 1.0);
+    }
+
+    #[test]
+    fn huge_sets_approach_dram_speed() {
+        let h = CacheHierarchy::embedded();
+        let bw = h.effective_bandwidth(Bytes::from_gigabytes(4.0));
+        let dram = h.dram_bandwidth.value();
+        assert!(bw.value() < dram * 1.05, "got {} vs dram {dram}", bw.value());
+        assert!(bw.value() >= dram, "never below DRAM");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_working_set() {
+        let h = CacheHierarchy::embedded();
+        let sizes = [0.5, 1.0, 2.0, 8.0, 64.0, 512.0];
+        let bws: Vec<f64> = sizes
+            .iter()
+            .map(|&mib| h.effective_bandwidth(Bytes::from_mebibytes(mib)).value())
+            .collect();
+        for w in bws.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn half_speed_point_is_past_the_sram_size() {
+        let h = CacheHierarchy::embedded();
+        let ws = h.half_speed_working_set();
+        assert!(ws > h.sram);
+        let bw = h.effective_bandwidth(ws);
+        assert!((bw.value() - 2.0 * h.dram_bandwidth.value()).abs() / bw.value() < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_effective_bandwidth_bounded(mib in 0.01..4096.0f64) {
+            let h = CacheHierarchy::embedded();
+            let bw = h.effective_bandwidth(Bytes::from_mebibytes(mib));
+            prop_assert!(bw.value() <= h.sram_bandwidth.value() + 1e-6);
+            prop_assert!(bw.value() >= h.dram_bandwidth.value() - 1e-6);
+        }
+
+        #[test]
+        fn prop_hit_rate_in_unit_interval(mib in 0.01..4096.0f64) {
+            let h = CacheHierarchy::embedded();
+            let rate = h.hit_rate(Bytes::from_mebibytes(mib));
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Benchmarks of the end-to-end simulator: closed-loop UAV missions and
+//! discrete-event pipeline runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use m7_arch::platform::{Platform, PlatformKind};
+use m7_arch::workload::KernelProfile;
+use m7_bench::BENCH_SEED;
+use m7_sim::mission::MissionSpec;
+use m7_sim::pipeline::Pipeline;
+use m7_sim::sensor::SensorSpec;
+use m7_sim::uav::{ComputeTier, Uav, UavConfig};
+use m7_units::Seconds;
+use std::hint::black_box;
+
+fn bench_uav_missions(c: &mut Criterion) {
+    let mission = MissionSpec::survey(1000.0);
+    let mut group = c.benchmark_group("uav_mission_1km");
+    group.sample_size(20);
+    for tier in [ComputeTier::Micro, ComputeTier::Embedded, ComputeTier::Server] {
+        group.bench_with_input(BenchmarkId::from_parameter(tier), &tier, |b, &t| {
+            let uav = Uav::new(UavConfig::default().with_tier(t));
+            b.iter(|| black_box(uav.fly(black_box(&mission), BENCH_SEED)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_des(c: &mut Criterion) {
+    let pipeline = Pipeline::new(
+        SensorSpec::camera_vga(30.0),
+        Platform::preset(PlatformKind::CpuSimd),
+        KernelProfile::feature_extract(640, 480),
+    );
+    let mut group = c.benchmark_group("pipeline_des");
+    group.sample_size(20);
+    group.bench_function("vga_30fps_10s", |b| {
+        b.iter(|| black_box(pipeline.simulate(Seconds::new(10.0))))
+    });
+    group.finish();
+}
+
+fn bench_rover_patrol(c: &mut Criterion) {
+    use m7_kernels::geometry::Vec2;
+    use m7_kernels::planning::CollisionWorld;
+    use m7_sim::rover::{Rover, RoverConfig};
+
+    let mut world = CollisionWorld::new(40.0, 40.0);
+    world.scatter_circles(20, 0.4, 1.2, BENCH_SEED);
+    let rover = Rover::new(RoverConfig::default());
+    let mut group = c.benchmark_group("rover");
+    group.sample_size(10);
+    group.bench_function("planner_in_the_loop_patrol", |b| {
+        b.iter(|| {
+            black_box(rover.patrol(
+                &world,
+                Vec2::new(1.0, 1.0),
+                &[Vec2::new(35.0, 35.0)],
+                BENCH_SEED,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(sim, bench_uav_missions, bench_pipeline_des, bench_rover_patrol);
+criterion_main!(sim);

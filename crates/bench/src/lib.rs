@@ -1,0 +1,18 @@
+//! Benchmark support crate: the Criterion targets live in `benches/`.
+//!
+//! - `benches/experiments.rs` — one benchmark per paper experiment
+//!   (E1-E10), timing a full regeneration of each figure/table
+//!   equivalent.
+//! - `benches/kernels.rs` — micro-benches of the autonomy kernels,
+//!   including the scalar-vs-batched collision ablation behind E6.
+//! - `benches/sim.rs` — closed-loop UAV missions and pipeline
+//!   simulations.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Default seed shared by all benchmark workloads so that Criterion
+/// compares like against like across runs.
+pub const BENCH_SEED: u64 = 42;

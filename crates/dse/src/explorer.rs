@@ -1,0 +1,517 @@
+//! Search strategies over discrete design spaces: exhaustive, random,
+//! simulated annealing, genetic, and surrogate-guided (the ML-for-design
+//! strategy of paper §3.1).
+
+use crate::space::{DesignSpace, PointIndex};
+use crate::surrogate::Forest;
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+
+/// A design objective to *minimize* (e.g. mission energy per meter, or a
+/// weighted cost).
+///
+/// Implementors receive the concrete level values of a design point.
+pub trait Objective: Sync {
+    /// Evaluates the cost of one design (lower is better).
+    fn evaluate(&self, values: &[f64]) -> f64;
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Objective for F {
+    fn evaluate(&self, values: &[f64]) -> f64 {
+        self(values)
+    }
+}
+
+/// Evaluation budget for a search run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Maximum number of objective evaluations.
+    pub max_evaluations: usize,
+}
+
+impl SearchBudget {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_evaluations` is zero.
+    #[must_use]
+    pub fn new(max_evaluations: usize) -> Self {
+        assert!(max_evaluations > 0, "budget must allow at least one evaluation");
+        Self { max_evaluations }
+    }
+}
+
+/// The outcome of one search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Index form of the best design found.
+    pub best_point: PointIndex,
+    /// Concrete level values of the best design.
+    pub best_values: Vec<f64>,
+    /// Objective value of the best design.
+    pub best_cost: f64,
+    /// Objective evaluations actually spent.
+    pub evaluations: usize,
+    /// Best-so-far cost after each evaluation — the sample-efficiency
+    /// curve of experiment E9.
+    pub trace: Vec<f64>,
+}
+
+/// A search strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Explorer {
+    /// Evaluate every point (or the first `budget` points).
+    Exhaustive,
+    /// Uniform random sampling.
+    Random,
+    /// Simulated annealing over the neighbor graph.
+    Annealing {
+        /// Initial temperature (in objective units).
+        initial_temperature: f64,
+        /// Multiplicative cooling per step, in `(0, 1)`.
+        cooling: f64,
+    },
+    /// A (μ + 1) genetic algorithm with tournament selection.
+    Genetic {
+        /// Population size.
+        population: usize,
+        /// Per-child probability of a mutation step.
+        mutation_rate: f64,
+    },
+    /// Surrogate-guided search: random warm-up, then lower-confidence-bound
+    /// acquisition over a bagged-tree model.
+    SurrogateGuided {
+        /// Random evaluations before the first model fit.
+        warmup: usize,
+        /// Candidate pool scored by the model per acquisition round.
+        candidates: usize,
+        /// Exploration weight on the model's uncertainty.
+        kappa: f64,
+    },
+}
+
+impl Explorer {
+    /// A reasonable default annealing schedule.
+    #[must_use]
+    pub fn annealing() -> Self {
+        Self::Annealing { initial_temperature: 1.0, cooling: 0.98 }
+    }
+
+    /// A reasonable default genetic configuration.
+    #[must_use]
+    pub fn genetic() -> Self {
+        Self::Genetic { population: 16, mutation_rate: 0.3 }
+    }
+
+    /// A reasonable default surrogate-guided configuration.
+    #[must_use]
+    pub fn surrogate() -> Self {
+        Self::SurrogateGuided { warmup: 10, candidates: 64, kappa: 1.0 }
+    }
+
+    /// Strategy name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Exhaustive => "exhaustive",
+            Self::Random => "random",
+            Self::Annealing { .. } => "annealing",
+            Self::Genetic { .. } => "genetic",
+            Self::SurrogateGuided { .. } => "surrogate",
+        }
+    }
+
+    /// Runs the search, deterministic in `seed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use m7_dse::explorer::{Explorer, SearchBudget};
+    /// use m7_dse::space::{DesignSpace, Dimension};
+    ///
+    /// let space = DesignSpace::new(vec![
+    ///     Dimension::new("x", (0..10).map(f64::from).collect()),
+    ///     Dimension::new("y", (0..10).map(f64::from).collect()),
+    /// ]);
+    /// // Minimize distance to (7, 3).
+    /// let objective = |v: &[f64]| (v[0] - 7.0).powi(2) + (v[1] - 3.0).powi(2);
+    /// let result = Explorer::Exhaustive.run(&space, &objective, SearchBudget::new(100), 1);
+    /// assert_eq!(result.best_values, vec![7.0, 3.0]);
+    /// ```
+    #[must_use]
+    pub fn run(
+        &self,
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+    ) -> SearchResult {
+        match self {
+            Self::Exhaustive => Self::run_exhaustive(space, objective, budget),
+            Self::Random => Self::run_random(space, objective, budget, seed),
+            Self::Annealing { initial_temperature, cooling } => {
+                Self::run_annealing(space, objective, budget, seed, *initial_temperature, *cooling)
+            }
+            Self::Genetic { population, mutation_rate } => {
+                Self::run_genetic(space, objective, budget, seed, *population, *mutation_rate)
+            }
+            Self::SurrogateGuided { warmup, candidates, kappa } => {
+                Self::run_surrogate(space, objective, budget, seed, *warmup, *candidates, *kappa)
+            }
+        }
+    }
+
+    /// Evaluates a batch of points in parallel (deterministic result
+    /// order), returning their costs.
+    fn evaluate_batch(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        points: &[PointIndex],
+    ) -> Vec<f64> {
+        let results = Mutex::new(vec![f64::NAN; points.len()]);
+        let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+        let chunk = points.len().div_ceil(n_threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (t, batch) in points.chunks(chunk).enumerate() {
+                let results = &results;
+                let base = t * chunk;
+                scope.spawn(move |_| {
+                    for (i, p) in batch.iter().enumerate() {
+                        let cost = objective.evaluate(&space.values(p));
+                        results.lock()[base + i] = cost;
+                    }
+                });
+            }
+        })
+        .expect("evaluation threads do not panic");
+        results.into_inner()
+    }
+
+    fn collect(points: Vec<PointIndex>, costs: Vec<f64>, space: &DesignSpace) -> SearchResult {
+        let mut best = 0usize;
+        let mut trace = Vec::with_capacity(costs.len());
+        let mut best_so_far = f64::INFINITY;
+        for (i, &c) in costs.iter().enumerate() {
+            if c < costs[best] {
+                best = i;
+            }
+            best_so_far = best_so_far.min(c);
+            trace.push(best_so_far);
+        }
+        SearchResult {
+            best_values: space.values(&points[best]),
+            best_point: points[best].clone(),
+            best_cost: costs[best],
+            evaluations: costs.len(),
+            trace,
+        }
+    }
+
+    fn run_exhaustive(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+    ) -> SearchResult {
+        let mut points = space.enumerate();
+        points.truncate(budget.max_evaluations);
+        let costs = Self::evaluate_batch(space, objective, &points);
+        Self::collect(points, costs, space)
+    }
+
+    fn run_random(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+    ) -> SearchResult {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let points: Vec<PointIndex> =
+            (0..budget.max_evaluations).map(|_| space.sample(&mut rng)).collect();
+        let costs = Self::evaluate_batch(space, objective, &points);
+        Self::collect(points, costs, space)
+    }
+
+    fn run_annealing(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        t0: f64,
+        cooling: f64,
+    ) -> SearchResult {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut current = space.sample(&mut rng);
+        let mut current_cost = objective.evaluate(&space.values(&current));
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut trace = vec![best_cost];
+        let mut temperature = t0 * current_cost.abs().max(1e-9);
+        for _ in 1..budget.max_evaluations {
+            let candidate = space.neighbor(&current, &mut rng);
+            let cost = objective.evaluate(&space.values(&candidate));
+            let accept = cost <= current_cost || {
+                let delta = cost - current_cost;
+                rng.gen_bool((-delta / temperature.max(1e-12)).exp().clamp(0.0, 1.0))
+            };
+            if accept {
+                current = candidate;
+                current_cost = cost;
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best = current.clone();
+            }
+            trace.push(best_cost);
+            temperature *= cooling;
+        }
+        SearchResult {
+            best_values: space.values(&best),
+            best_point: best,
+            best_cost,
+            evaluations: trace.len(),
+            trace,
+        }
+    }
+
+    fn run_genetic(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        population: usize,
+        mutation_rate: f64,
+    ) -> SearchResult {
+        let population = population.max(2).min(budget.max_evaluations);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut pool: Vec<(PointIndex, f64)> = (0..population)
+            .map(|_| {
+                let p = space.sample(&mut rng);
+                let c = objective.evaluate(&space.values(&p));
+                (p, c)
+            })
+            .collect();
+        let mut trace: Vec<f64> = Vec::with_capacity(budget.max_evaluations);
+        let mut best_so_far = f64::INFINITY;
+        for (_, c) in &pool {
+            best_so_far = best_so_far.min(*c);
+            trace.push(best_so_far);
+        }
+        while trace.len() < budget.max_evaluations {
+            // Tournament selection of two parents.
+            let pick = |rng: &mut rand_chacha::ChaCha8Rng| {
+                let a = rng.gen_range(0..pool.len());
+                let b = rng.gen_range(0..pool.len());
+                if pool[a].1 <= pool[b].1 {
+                    a
+                } else {
+                    b
+                }
+            };
+            let pa = pick(&mut rng);
+            let pb = pick(&mut rng);
+            let mut child = space.crossover(&pool[pa].0, &pool[pb].0, &mut rng);
+            if rng.gen_bool(mutation_rate.clamp(0.0, 1.0)) {
+                child = space.neighbor(&child, &mut rng);
+            }
+            let cost = objective.evaluate(&space.values(&child));
+            best_so_far = best_so_far.min(cost);
+            trace.push(best_so_far);
+            // Replace the worst member if the child improves on it.
+            let worst = (0..pool.len())
+                .max_by(|&a, &b| pool[a].1.partial_cmp(&pool[b].1).expect("finite costs"))
+                .expect("pool is nonempty");
+            if cost < pool[worst].1 {
+                pool[worst] = (child, cost);
+            }
+        }
+        let best = pool
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("pool is nonempty");
+        SearchResult {
+            best_values: space.values(&best.0),
+            best_point: best.0.clone(),
+            best_cost: best.1,
+            evaluations: trace.len(),
+            trace,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_surrogate(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        warmup: usize,
+        candidates: usize,
+        kappa: f64,
+    ) -> SearchResult {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let warmup = warmup.clamp(2, budget.max_evaluations);
+        let mut evaluated: Vec<(PointIndex, Vec<f64>, f64)> = Vec::new();
+        let mut trace = Vec::with_capacity(budget.max_evaluations);
+        let mut best_so_far = f64::INFINITY;
+        let spend = |point: PointIndex,
+                         evaluated: &mut Vec<(PointIndex, Vec<f64>, f64)>,
+                         trace: &mut Vec<f64>,
+                         best_so_far: &mut f64| {
+            let values = space.values(&point);
+            let cost = objective.evaluate(&values);
+            *best_so_far = best_so_far.min(cost);
+            trace.push(*best_so_far);
+            evaluated.push((point, values, cost));
+        };
+        for _ in 0..warmup {
+            let p = space.sample(&mut rng);
+            spend(p, &mut evaluated, &mut trace, &mut best_so_far);
+        }
+        while trace.len() < budget.max_evaluations {
+            let xs: Vec<Vec<f64>> = evaluated.iter().map(|(_, v, _)| v.clone()).collect();
+            let ys: Vec<f64> = evaluated.iter().map(|(_, _, c)| *c).collect();
+            let forest = Forest::fit(&xs, &ys, 16, 6, seed ^ trace.len() as u64);
+            // Score a random candidate pool by lower confidence bound.
+            let mut best_candidate: Option<(PointIndex, f64)> = None;
+            for _ in 0..candidates {
+                let p = space.sample(&mut rng);
+                if evaluated.iter().any(|(q, _, _)| q == &p) {
+                    continue;
+                }
+                let (mean, std) = forest.predict_with_uncertainty(&space.values(&p));
+                let lcb = mean - kappa * std;
+                if best_candidate.as_ref().is_none_or(|(_, s)| lcb < *s) {
+                    best_candidate = Some((p, lcb));
+                }
+            }
+            let next = match best_candidate {
+                Some((p, _)) => p,
+                None => space.sample(&mut rng),
+            };
+            spend(next, &mut evaluated, &mut trace, &mut best_so_far);
+        }
+        let best = evaluated
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"))
+            .expect("warmup guarantees evaluations");
+        SearchResult {
+            best_point: best.0.clone(),
+            best_values: best.1.clone(),
+            best_cost: best.2,
+            evaluations: trace.len(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Dimension;
+
+    fn grid_space(n: usize) -> DesignSpace {
+        DesignSpace::new(vec![
+            Dimension::new("x", (0..n).map(|i| i as f64).collect()),
+            Dimension::new("y", (0..n).map(|i| i as f64).collect()),
+        ])
+    }
+
+    /// A rugged objective with global minimum at (12, 4).
+    fn rugged(v: &[f64]) -> f64 {
+        let dx = v[0] - 12.0;
+        let dy = v[1] - 4.0;
+        dx * dx + dy * dy + 3.0 * ((v[0] * 0.9).sin() + (v[1] * 1.3).cos())
+    }
+
+    #[test]
+    fn exhaustive_finds_global_minimum() {
+        let space = grid_space(16);
+        let full = Explorer::Exhaustive.run(&space, &rugged, SearchBudget::new(256), 0);
+        assert_eq!(full.evaluations, 256);
+        // Verify optimality against a manual scan.
+        let manual = space
+            .enumerate()
+            .into_iter()
+            .map(|p| rugged(&space.values(&p)))
+            .fold(f64::INFINITY, f64::min);
+        assert!((full.best_cost - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traces_are_monotone_nonincreasing() {
+        let space = grid_space(16);
+        for explorer in [
+            Explorer::Random,
+            Explorer::annealing(),
+            Explorer::genetic(),
+            Explorer::surrogate(),
+        ] {
+            let r = explorer.run(&space, &rugged, SearchBudget::new(60), 3);
+            assert_eq!(r.evaluations, 60, "{}", explorer.name());
+            for w in r.trace.windows(2) {
+                assert!(w[1] <= w[0], "{} trace must be non-increasing", explorer.name());
+            }
+            assert_eq!(*r.trace.last().unwrap(), r.best_cost);
+        }
+    }
+
+    #[test]
+    fn all_strategies_approach_the_optimum() {
+        let space = grid_space(16);
+        let optimum = Explorer::Exhaustive
+            .run(&space, &rugged, SearchBudget::new(256), 0)
+            .best_cost;
+        for explorer in [Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()] {
+            let r = explorer.run(&space, &rugged, SearchBudget::new(120), 5);
+            assert!(
+                r.best_cost < optimum + 25.0,
+                "{} landed too far from optimum: {} vs {optimum}",
+                explorer.name(),
+                r.best_cost
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_beats_random_on_average() {
+        // With a modest budget on a larger space, model guidance should win
+        // on average across seeds.
+        let space = grid_space(32);
+        let budget = SearchBudget::new(40);
+        let mut surrogate_total = 0.0;
+        let mut random_total = 0.0;
+        for seed in 0..8 {
+            surrogate_total += Explorer::surrogate().run(&space, &rugged, budget, seed).best_cost;
+            random_total += Explorer::Random.run(&space, &rugged, budget, seed).best_cost;
+        }
+        assert!(
+            surrogate_total < random_total,
+            "surrogate {surrogate_total} should beat random {random_total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let space = grid_space(16);
+        for explorer in [Explorer::Random, Explorer::annealing(), Explorer::genetic()] {
+            let a = explorer.run(&space, &rugged, SearchBudget::new(50), 9);
+            let b = explorer.run(&space, &rugged, SearchBudget::new(50), 9);
+            assert_eq!(a, b, "{}", explorer.name());
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let space = grid_space(8);
+        for explorer in [
+            Explorer::Exhaustive,
+            Explorer::Random,
+            Explorer::annealing(),
+            Explorer::genetic(),
+            Explorer::surrogate(),
+        ] {
+            let r = explorer.run(&space, &rugged, SearchBudget::new(25), 1);
+            assert!(r.evaluations <= 25, "{} overspent", explorer.name());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Pinhole camera geometry: projection, back-projection, and two-view
+//! landmark triangulation — the geometric core of a visual-odometry
+//! front end.
+//!
+//! Works in the planar world of the rest of the crate by modeling a
+//! camera that looks along the robot's heading and images landmarks onto
+//! a 1D image line (the planar reduction of the epipolar geometry; every
+//! identity exercised here — projection round trips, triangulation from
+//! two views — has the same algebraic shape as its 3D counterpart).
+
+use crate::geometry::{Pose2, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A planar pinhole camera: focal length and principal point in pixels
+/// over a 1D image line of `width` pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinholeCamera {
+    /// Focal length in pixels.
+    pub focal_px: f64,
+    /// Principal point (image center) in pixels.
+    pub center_px: f64,
+    /// Image width in pixels.
+    pub width_px: f64,
+}
+
+impl PinholeCamera {
+    /// A camera with the given horizontal field of view (radians) and
+    /// image width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FoV is not in `(0, π)` or the width is non-positive.
+    #[must_use]
+    pub fn with_fov(fov_rad: f64, width_px: f64) -> Self {
+        assert!(fov_rad > 0.0 && fov_rad < core::f64::consts::PI, "fov must be in (0, pi)");
+        assert!(width_px > 0.0, "image width must be positive");
+        let focal_px = width_px / (2.0 * (fov_rad / 2.0).tan());
+        Self { focal_px, center_px: width_px / 2.0, width_px }
+    }
+
+    /// Projects a world point into the image, given the camera pose
+    /// (camera looks along `pose.heading`).
+    ///
+    /// Returns `None` when the point is behind the camera or outside the
+    /// image bounds.
+    #[must_use]
+    pub fn project(&self, pose: Pose2, world: Vec2) -> Option<f64> {
+        let local = pose.inverse_transform_point(world);
+        // Camera frame: x forward (depth), y lateral.
+        if local.x <= 1e-9 {
+            return None;
+        }
+        let u = self.center_px + self.focal_px * (local.y / local.x);
+        if (0.0..=self.width_px).contains(&u) {
+            Some(u)
+        } else {
+            None
+        }
+    }
+
+    /// The bearing (radians, relative to the camera axis) of image
+    /// coordinate `u`.
+    #[must_use]
+    pub fn bearing(&self, u: f64) -> f64 {
+        ((u - self.center_px) / self.focal_px).atan()
+    }
+
+    /// Triangulates a landmark from observations in two camera poses.
+    ///
+    /// Returns `None` if the rays are (near-)parallel or intersect behind
+    /// either camera.
+    #[must_use]
+    pub fn triangulate(&self, pose_a: Pose2, u_a: f64, pose_b: Pose2, u_b: f64) -> Option<Vec2> {
+        let dir = |pose: Pose2, u: f64| {
+            let angle = pose.heading + self.bearing(u);
+            Vec2::new(angle.cos(), angle.sin())
+        };
+        let da = dir(pose_a, u_a);
+        let db = dir(pose_b, u_b);
+        let origin_delta = pose_b.position - pose_a.position;
+        // Solve pa + ta·da = pb + tb·db.
+        let denom = da.cross(db);
+        if denom.abs() < 1e-9 {
+            return None;
+        }
+        let ta = origin_delta.cross(db) / denom;
+        let tb = origin_delta.cross(da) / denom;
+        if ta <= 0.0 || tb <= 0.0 {
+            return None;
+        }
+        Some(pose_a.position + da * ta)
+    }
+
+    /// Reprojection error (pixels) of a hypothesized landmark against an
+    /// observation, or `None` if the landmark does not project.
+    #[must_use]
+    pub fn reprojection_error(&self, pose: Pose2, landmark: Vec2, observed_u: f64) -> Option<f64> {
+        self.project(pose, landmark).map(|u| (u - observed_u).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vga_camera() -> PinholeCamera {
+        PinholeCamera::with_fov(core::f64::consts::FRAC_PI_2, 640.0)
+    }
+
+    #[test]
+    fn fov_sets_focal_length() {
+        let cam = vga_camera();
+        // 90° FoV: focal = width/2.
+        assert!((cam.focal_px - 320.0).abs() < 1e-9);
+        assert_eq!(cam.center_px, 320.0);
+    }
+
+    #[test]
+    fn center_projection() {
+        let cam = vga_camera();
+        let pose = Pose2::identity();
+        // A point straight ahead lands on the principal point.
+        let u = cam.project(pose, Vec2::new(5.0, 0.0)).unwrap();
+        assert!((u - 320.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn behind_camera_is_invisible() {
+        let cam = vga_camera();
+        assert!(cam.project(Pose2::identity(), Vec2::new(-1.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn outside_fov_is_invisible() {
+        let cam = vga_camera();
+        // 80° off-axis is outside a 90° FoV.
+        let angle = 80.0f64.to_radians();
+        let p = Vec2::new(angle.cos(), angle.sin()) * 5.0;
+        assert!(cam.project(Pose2::identity(), p).is_none());
+    }
+
+    #[test]
+    fn projection_bearing_round_trip() {
+        let cam = vga_camera();
+        let pose = Pose2::new(Vec2::new(2.0, 3.0), 0.4);
+        let landmark = Vec2::new(8.0, 5.0);
+        let u = cam.project(pose, landmark).unwrap();
+        // Bearing from the image coordinate matches the geometric bearing.
+        let geometric = (landmark - pose.position).angle() - pose.heading;
+        assert!((cam.bearing(u) - geometric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangulation_recovers_landmark() {
+        let cam = vga_camera();
+        let landmark = Vec2::new(6.0, 2.0);
+        let pose_a = Pose2::new(Vec2::new(0.0, 0.0), 0.2);
+        let pose_b = Pose2::new(Vec2::new(2.0, -1.0), 0.5);
+        let u_a = cam.project(pose_a, landmark).unwrap();
+        let u_b = cam.project(pose_b, landmark).unwrap();
+        let est = cam.triangulate(pose_a, u_a, pose_b, u_b).unwrap();
+        assert!(est.distance(landmark) < 1e-6, "got {est:?}");
+        assert!(cam.reprojection_error(pose_a, est, u_a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_rays_fail_triangulation() {
+        let cam = vga_camera();
+        // Two cameras side by side looking the same way at the principal
+        // point: rays are parallel.
+        let pose_a = Pose2::identity();
+        let pose_b = Pose2::new(Vec2::new(0.0, 1.0), 0.0);
+        assert!(cam.triangulate(pose_a, 320.0, pose_b, 320.0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_triangulation_round_trips(
+            lx in 3.0..20.0f64, ly in -5.0..5.0f64,
+            bx in 0.5..2.5f64, by in -2.0..2.0f64,
+        ) {
+            let cam = vga_camera();
+            let landmark = Vec2::new(lx, ly);
+            let pose_a = Pose2::identity();
+            let pose_b = Pose2::new(Vec2::new(bx, by), 0.0);
+            if let (Some(ua), Some(ub)) =
+                (cam.project(pose_a, landmark), cam.project(pose_b, landmark))
+            {
+                if let Some(est) = cam.triangulate(pose_a, ua, pose_b, ub) {
+                    prop_assert!(est.distance(landmark) < 1e-5);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_visible_points_project_in_bounds(
+            x in 0.5..30.0f64, y in -30.0..30.0f64,
+        ) {
+            let cam = vga_camera();
+            if let Some(u) = cam.project(Pose2::identity(), Vec2::new(x, y)) {
+                prop_assert!((0.0..=640.0).contains(&u));
+            }
+        }
+    }
+}

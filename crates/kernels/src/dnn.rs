@@ -1,0 +1,492 @@
+//! A small multilayer perceptron with SGD training and precision-swept
+//! (quantized) inference.
+//!
+//! This is the perception-model workload behind experiment E3 ("Metrics
+//! Matter"): quantizing weights raises modeled throughput on an accelerator
+//! but *measurably* lowers task accuracy here — so a throughput-only metric
+//! and a time-to-accuracy metric rank designs differently.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the weights during inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full 32-bit floating point (reference).
+    F32,
+    /// 16-bit symmetric integer quantization.
+    Int16,
+    /// 8-bit symmetric integer quantization.
+    Int8,
+    /// 4-bit symmetric integer quantization.
+    Int4,
+    /// 2-bit symmetric integer quantization.
+    Int2,
+}
+
+impl Precision {
+    /// All precisions, highest to lowest.
+    pub const ALL: [Self; 5] = [Self::F32, Self::Int16, Self::Int8, Self::Int4, Self::Int2];
+
+    /// Bits per weight at this precision.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::F32 => 32,
+            Self::Int16 => 16,
+            Self::Int8 => 8,
+            Self::Int4 => 4,
+            Self::Int2 => 2,
+        }
+    }
+
+    /// Largest representable quantized magnitude (`2^(bits-1) − 1`), or
+    /// `None` for floating point.
+    #[must_use]
+    pub fn max_level(self) -> Option<f64> {
+        match self {
+            Self::F32 => None,
+            _ => Some(f64::from((1u32 << (self.bits() - 1)) - 1)),
+        }
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::F32 => write!(f, "f32"),
+            other => write!(f, "int{}", other.bits()),
+        }
+    }
+}
+
+/// One dense layer: row-major weights `[out × in]` plus biases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn random(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+        // He initialization.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let weights = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
+        let biases = vec![0.0; outputs];
+        Self { inputs, outputs, weights, biases }
+    }
+
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Returns a copy with weights fake-quantized at `precision`.
+    fn quantized(&self, precision: Precision) -> Self {
+        let Some(levels) = precision.max_level() else {
+            return self.clone();
+        };
+        let max_abs = self.weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+        if max_abs == 0.0 {
+            return self.clone();
+        }
+        let scale = max_abs / levels;
+        let weights = self
+            .weights
+            .iter()
+            .map(|w| (w / scale).round().clamp(-levels, levels) * scale)
+            .collect();
+        Self { weights, ..self.clone() }
+    }
+}
+
+/// A ReLU multilayer perceptron classifier.
+///
+/// # Examples
+///
+/// ```
+/// use m7_kernels::dnn::{Dataset, Mlp, Precision};
+///
+/// let data = Dataset::blobs(200, 3, 2, 42);
+/// let mut mlp = Mlp::new(&[2, 16, 3], 7);
+/// mlp.train(&data, 40, 0.05);
+/// let acc = mlp.accuracy(&data, Precision::F32);
+/// assert!(acc > 0.8, "blobs are separable, got {acc}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates a randomly initialized network with the given layer widths
+    /// (`[inputs, hidden…, classes]`), deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    #[must_use]
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output widths");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer widths must be nonzero");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let layers = layer_sizes
+            .windows(2)
+            .map(|w| Layer::random(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.layers.last().expect("at least one layer").outputs
+    }
+
+    /// Total weight count (excluding biases).
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+
+    /// Multiply-accumulate operations per forward pass.
+    #[must_use]
+    pub fn macs_per_inference(&self) -> f64 {
+        self.layers.iter().map(|l| (l.inputs * l.outputs) as f64).sum()
+    }
+
+    /// Weight bytes read per forward pass at `precision`.
+    #[must_use]
+    pub fn weight_bytes(&self, precision: Precision) -> f64 {
+        self.weight_count() as f64 * f64::from(precision.bits()) / 8.0
+    }
+
+    /// Class logits for one input at the given weight precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    #[must_use]
+    pub fn forward(&self, input: &[f64], precision: Precision) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let layer = if precision == Precision::F32 {
+                layer.clone()
+            } else {
+                layer.quantized(precision)
+            };
+            layer.forward(&current, &mut next);
+            if i != last {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            core::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// The argmax class for one input.
+    #[must_use]
+    pub fn predict(&self, input: &[f64], precision: Precision) -> usize {
+        let logits = self.forward(input, precision);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("logits are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Fraction of `data` classified correctly at `precision`.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset, precision: Precision) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, y)| self.predict(x, precision) == **y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Trains with plain SGD on softmax cross-entropy for `epochs` passes.
+    pub fn train(&mut self, data: &Dataset, epochs: usize, learning_rate: f64) {
+        for _ in 0..epochs {
+            for (x, y) in data.iter() {
+                self.sgd_step(x, *y, learning_rate);
+            }
+        }
+    }
+
+    /// Quantization-aware training: after every epoch the weights are
+    /// snapped to the `precision` grid, so optimization must live with the
+    /// representable set. At very low precisions training stalls — the
+    /// mechanism behind the time-to-accuracy inversion of experiment E3.
+    pub fn train_quantized(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        learning_rate: f64,
+        precision: Precision,
+    ) {
+        for _ in 0..epochs {
+            for (x, y) in data.iter() {
+                self.sgd_step(x, *y, learning_rate);
+            }
+            if precision != Precision::F32 {
+                for layer in &mut self.layers {
+                    *layer = layer.quantized(precision);
+                }
+            }
+        }
+    }
+
+    /// Trains epoch by epoch (quantization-aware at `precision`) until the
+    /// model reaches `target_accuracy` on `data`, up to `max_epochs`.
+    ///
+    /// Returns the number of epochs needed, or `None` if the target was
+    /// never reached — low precisions plateau below the target.
+    pub fn epochs_to_accuracy(
+        &mut self,
+        data: &Dataset,
+        target_accuracy: f64,
+        learning_rate: f64,
+        precision: Precision,
+        max_epochs: usize,
+    ) -> Option<usize> {
+        for epoch in 1..=max_epochs {
+            self.train_quantized(data, 1, learning_rate, precision);
+            if self.accuracy(data, precision) >= target_accuracy {
+                return Some(epoch);
+            }
+        }
+        None
+    }
+
+    fn sgd_step(&mut self, input: &[f64], label: usize, lr: f64) {
+        // Forward pass, keeping activations.
+        let mut activations: Vec<Vec<f64>> = vec![input.to_vec()];
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(activations.last().expect("nonempty"), &mut out);
+            if i != last {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            activations.push(out);
+        }
+        // Softmax + cross-entropy gradient at the output.
+        let logits = activations.last().expect("nonempty").clone();
+        let max = logits.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f64> = logits.iter().map(|v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let mut grad: Vec<f64> = exps.iter().map(|e| e / sum).collect();
+        grad[label] -= 1.0;
+
+        // Backward pass.
+        for i in (0..self.layers.len()).rev() {
+            let input_act = activations[i].clone();
+            let layer = &mut self.layers[i];
+            let mut grad_prev = vec![0.0; layer.inputs];
+            #[allow(clippy::needless_range_loop)]
+            for o in 0..layer.outputs {
+                let g = grad[o];
+                for j in 0..layer.inputs {
+                    grad_prev[j] += layer.weights[o * layer.inputs + j] * g;
+                    layer.weights[o * layer.inputs + j] -= lr * g * input_act[j];
+                }
+                layer.biases[o] -= lr * g;
+            }
+            if i > 0 {
+                // ReLU derivative through the previous activation.
+                for (gp, a) in grad_prev.iter_mut().zip(&activations[i]) {
+                    if *a <= 0.0 {
+                        *gp = 0.0;
+                    }
+                }
+            }
+            grad = grad_prev;
+        }
+    }
+}
+
+/// A labeled classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates `per_class * classes` points as Gaussian blobs on a circle
+    /// of radius 3, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `dim < 2`.
+    #[must_use]
+    pub fn blobs(per_class: usize, classes: usize, dim: usize, seed: u64) -> Self {
+        assert!(classes > 0, "need at least one class");
+        assert!(dim >= 2, "blob dataset needs dim >= 2");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..classes {
+            let angle = 2.0 * core::f64::consts::PI * c as f64 / classes as f64;
+            let (cx, cy) = (3.0 * angle.cos(), 3.0 * angle.sin());
+            for _ in 0..per_class {
+                let mut x = vec![0.0; dim];
+                x[0] = cx + rng.gen_range(-0.8..0.8);
+                x[1] = cy + rng.gen_range(-0.8..0.8);
+                for v in x.iter_mut().skip(2) {
+                    *v = rng.gen_range(-0.5..0.5);
+                }
+                features.push(x);
+                labels.push(c);
+            }
+        }
+        Self { features, labels }
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Returns `true` if the dataset has no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &usize)> {
+        self.features.iter().map(Vec::as_slice).zip(self.labels.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_model() -> (Mlp, Dataset) {
+        let data = Dataset::blobs(150, 4, 2, 11);
+        let mut mlp = Mlp::new(&[2, 24, 4], 5);
+        mlp.train(&data, 60, 0.03);
+        (mlp, data)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let (mlp, data) = trained_model();
+        let acc = mlp.accuracy(&data, Precision::F32);
+        assert!(acc > 0.9, "separable blobs should train to >90%, got {acc}");
+    }
+
+    #[test]
+    fn accuracy_degrades_monotonically_with_precision_on_average() {
+        let (mlp, data) = trained_model();
+        let f32_acc = mlp.accuracy(&data, Precision::F32);
+        let int8 = mlp.accuracy(&data, Precision::Int8);
+        let int2 = mlp.accuracy(&data, Precision::Int2);
+        assert!(int8 <= f32_acc + 1e-9);
+        assert!(int2 <= int8 + 0.05, "2-bit should be no better than 8-bit (±5%)");
+        assert!(int2 < f32_acc, "2-bit quantization must cost accuracy");
+    }
+
+    #[test]
+    fn int16_is_nearly_lossless() {
+        let (mlp, data) = trained_model();
+        let delta = mlp.accuracy(&data, Precision::F32) - mlp.accuracy(&data, Precision::Int16);
+        assert!(delta.abs() < 0.02, "16-bit quantization should be ~lossless, delta {delta}");
+    }
+
+    #[test]
+    fn macs_and_bytes() {
+        let mlp = Mlp::new(&[2, 16, 4], 1);
+        assert_eq!(mlp.macs_per_inference(), (2 * 16 + 16 * 4) as f64);
+        assert_eq!(mlp.weight_count(), 2 * 16 + 16 * 4);
+        assert_eq!(mlp.weight_bytes(Precision::F32), (2 * 16 + 16 * 4) as f64 * 4.0);
+        assert_eq!(mlp.weight_bytes(Precision::Int8), (2 * 16 + 16 * 4) as f64);
+        assert_eq!(mlp.weight_bytes(Precision::Int2), (2 * 16 + 16 * 4) as f64 / 4.0);
+    }
+
+    #[test]
+    fn deterministic_initialization_and_training() {
+        let data = Dataset::blobs(50, 2, 2, 3);
+        let mut a = Mlp::new(&[2, 8, 2], 9);
+        let mut b = Mlp::new(&[2, 8, 2], 9);
+        a.train(&data, 5, 0.05);
+        b.train(&data, 5, 0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn precision_metadata() {
+        assert_eq!(Precision::F32.bits(), 32);
+        assert_eq!(Precision::Int4.bits(), 4);
+        assert_eq!(Precision::Int8.max_level(), Some(127.0));
+        assert_eq!(Precision::F32.max_level(), None);
+        assert_eq!(Precision::Int2.max_level(), Some(1.0));
+        assert_eq!(format!("{}", Precision::Int8), "int8");
+    }
+
+    #[test]
+    fn quantized_training_reaches_target_at_high_precision() {
+        let data = Dataset::blobs(100, 3, 2, 21);
+        let mut f32_model = Mlp::new(&[2, 16, 3], 4);
+        let f32_epochs =
+            f32_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::F32, 100);
+        assert!(f32_epochs.is_some(), "f32 training should reach 90%");
+
+        let mut int8_model = Mlp::new(&[2, 16, 3], 4);
+        let int8_epochs =
+            int8_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::Int8, 150);
+        assert!(int8_epochs.is_some(), "int8 QAT should still reach 90%");
+    }
+
+    #[test]
+    fn two_bit_training_stalls() {
+        let data = Dataset::blobs(100, 6, 2, 22);
+        let mut model = Mlp::new(&[2, 16, 6], 4);
+        let epochs = model.epochs_to_accuracy(&data, 0.95, 0.05, Precision::Int2, 60);
+        assert!(epochs.is_none(), "2-bit weights cannot express a 95% 6-class classifier here");
+    }
+
+    #[test]
+    fn predict_rejects_bad_input() {
+        let mlp = Mlp::new(&[3, 4, 2], 0);
+        let result = std::panic::catch_unwind(|| mlp.predict(&[1.0, 2.0], Precision::F32));
+        assert!(result.is_err(), "wrong input dimension must panic");
+    }
+
+    #[test]
+    fn empty_dataset_accuracy_is_zero() {
+        let mlp = Mlp::new(&[2, 4, 2], 0);
+        let empty = Dataset { features: Vec::new(), labels: Vec::new() };
+        assert_eq!(mlp.accuracy(&empty, Precision::F32), 0.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! 3D rotations and rigid transforms: unit quaternions, 3×3 rotation
+//! matrices, and SE(3) poses over [`Vec3`].
+//!
+//! The 3D counterpart of [`crate::geometry`]; state estimators and
+//! aerial-vehicle models that outgrow the planar reduction build on these
+//! types.
+
+use crate::geometry::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A unit quaternion representing a 3D rotation.
+///
+/// Constructors normalize; `w` is the scalar part.
+///
+/// # Examples
+///
+/// ```
+/// use m7_kernels::geometry::Vec3;
+/// use m7_kernels::geometry3::Quat;
+///
+/// let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2);
+/// let rotated = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+/// assert!((rotated.y - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, x.
+    pub x: f64,
+    /// Vector part, y.
+    pub y: f64,
+    /// Vector part, z.
+    pub z: f64,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Self = Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// A rotation of `angle` radians about `axis` (normalized internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is the zero vector.
+    #[must_use]
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        let n = axis.norm();
+        assert!(n > 0.0, "rotation axis must be nonzero");
+        let axis = axis * (1.0 / n);
+        let (s, c) = (angle / 2.0).sin_cos();
+        Self { w: c, x: axis.x * s, y: axis.y * s, z: axis.z * s }
+    }
+
+    /// A rotation from intrinsic Z-Y-X Euler angles (yaw, pitch, roll).
+    #[must_use]
+    pub fn from_euler(yaw: f64, pitch: f64, roll: f64) -> Self {
+        let z = Self::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), yaw);
+        let y = Self::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), pitch);
+        let x = Self::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), roll);
+        z.compose(y).compose(x)
+    }
+
+    /// The quaternion norm (1.0 for a valid rotation).
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the normalized quaternion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the norm is zero.
+    #[must_use]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize a zero quaternion");
+        Self { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+    }
+
+    /// Hamilton product: the rotation applying `rhs` first, then `self`.
+    #[must_use]
+    pub fn compose(self, rhs: Self) -> Self {
+        Self {
+            w: self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            x: self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            y: self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            z: self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        }
+    }
+
+    /// The inverse rotation (conjugate, for unit quaternions).
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        Self { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector.
+    #[must_use]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2 q_v × (q_v × v + w v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// The rotation angle in `[0, π]`.
+    #[must_use]
+    pub fn angle(self) -> f64 {
+        2.0 * self.w.abs().clamp(-1.0, 1.0).acos()
+    }
+
+    /// Converts to a rotation matrix.
+    #[must_use]
+    pub fn to_matrix(self) -> Mat3 {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Mat3 {
+            m: [
+                [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+                [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+                [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+            ],
+        }
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+/// A 3×3 matrix (row-major), chiefly used as a rotation matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Self =
+        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+
+    /// Matrix-vector product.
+    #[must_use]
+    pub fn mul_vec(self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Matrix product.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Self) -> Self {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[i][k] * rhs.m[k][j]).sum();
+            }
+        }
+        Self { m: out }
+    }
+
+    /// The transpose (= inverse, for rotation matrices).
+    #[must_use]
+    pub fn transpose(self) -> Self {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.m[j][i];
+            }
+        }
+        Self { m: out }
+    }
+
+    /// The determinant (+1 for a proper rotation).
+    #[must_use]
+    pub fn determinant(self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+/// A rigid transform in 3D: rotation plus translation (SE(3)).
+///
+/// # Examples
+///
+/// ```
+/// use m7_kernels::geometry::Vec3;
+/// use m7_kernels::geometry3::{Pose3, Quat};
+///
+/// let pose = Pose3::new(
+///     Vec3::new(1.0, 2.0, 3.0),
+///     Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2),
+/// );
+/// let p = pose.transform_point(Vec3::new(1.0, 0.0, 0.0));
+/// assert!((p.x - 1.0).abs() < 1e-12);
+/// assert!((p.y - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose3 {
+    /// Translation.
+    pub position: Vec3,
+    /// Orientation.
+    pub orientation: Quat,
+}
+
+impl Pose3 {
+    /// Creates a pose (the quaternion is normalized).
+    #[must_use]
+    pub fn new(position: Vec3, orientation: Quat) -> Self {
+        Self { position, orientation: orientation.normalized() }
+    }
+
+    /// The identity pose.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Maps a body-frame point into the world frame.
+    #[must_use]
+    pub fn transform_point(self, local: Vec3) -> Vec3 {
+        self.position + self.orientation.rotate(local)
+    }
+
+    /// Maps a world-frame point into the body frame.
+    #[must_use]
+    pub fn inverse_transform_point(self, world: Vec3) -> Vec3 {
+        self.orientation.inverse().rotate(world - self.position)
+    }
+
+    /// Composes two poses: applies `rhs` in this pose's frame.
+    #[must_use]
+    pub fn compose(self, rhs: Self) -> Self {
+        Self {
+            position: self.position + self.orientation.rotate(rhs.position),
+            orientation: self.orientation.compose(rhs.orientation).normalized(),
+        }
+    }
+
+    /// The inverse pose.
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        let inv = self.orientation.inverse();
+        Self { position: inv.rotate(-self.position), orientation: inv }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < EPS
+    }
+
+    #[test]
+    fn axis_angle_basics() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), core::f64::consts::FRAC_PI_2);
+        assert!(close(q.rotate(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 1.0, 0.0)));
+        assert!((q.angle() - core::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!((q.norm() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn euler_yaw_matches_planar_rotation() {
+        let q = Quat::from_euler(0.7, 0.0, 0.0);
+        let v = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!((v.x - 0.7f64.cos()).abs() < EPS);
+        assert!((v.y - 0.7f64.sin()).abs() < EPS);
+        assert!(v.z.abs() < EPS);
+    }
+
+    #[test]
+    fn compose_inverse_is_identity() {
+        let q = Quat::from_euler(0.3, -0.5, 1.1);
+        let id = q.compose(q.inverse());
+        assert!((id.w.abs() - 1.0).abs() < EPS);
+        assert!(id.x.abs() < EPS && id.y.abs() < EPS && id.z.abs() < EPS);
+    }
+
+    #[test]
+    fn quaternion_and_matrix_agree() {
+        let q = Quat::from_euler(0.4, 0.2, -0.9);
+        let m = q.to_matrix();
+        for v in [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.3, -0.7, 2.0)] {
+            assert!(close(q.rotate(v), m.mul_vec(v)));
+        }
+        assert!((m.determinant() - 1.0).abs() < EPS, "proper rotation");
+        // Rᵀ R = I.
+        let eye = m.transpose().mul(m);
+        assert!((eye.m[0][0] - 1.0).abs() < EPS && eye.m[0][1].abs() < EPS);
+    }
+
+    #[test]
+    fn pose_round_trip() {
+        let pose = Pose3::new(Vec3::new(2.0, -1.0, 0.5), Quat::from_euler(1.0, 0.3, -0.2));
+        let p = Vec3::new(0.7, 0.1, -2.0);
+        let back = pose.inverse_transform_point(pose.transform_point(p));
+        assert!(close(back, p));
+        // inverse() agrees with inverse_transform_point.
+        let via_inverse = pose.inverse().transform_point(pose.transform_point(p));
+        assert!(close(via_inverse, p));
+    }
+
+    #[test]
+    fn pose_compose_matches_sequential_transforms() {
+        let a = Pose3::new(Vec3::new(1.0, 0.0, 0.0), Quat::from_euler(0.5, 0.0, 0.0));
+        let b = Pose3::new(Vec3::new(0.0, 2.0, 0.0), Quat::from_euler(0.0, 0.4, 0.0));
+        let p = Vec3::new(0.3, 0.6, -0.9);
+        let composed = a.compose(b).transform_point(p);
+        let sequential = a.transform_point(b.transform_point(p));
+        assert!(close(composed, sequential));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn zero_axis_rejected() {
+        let _ = Quat::from_axis_angle(Vec3::ZERO, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_preserves_norm(
+            yaw in -3.0..3.0f64, pitch in -1.5..1.5f64, roll in -3.0..3.0f64,
+            x in -10.0..10.0f64, y in -10.0..10.0f64, z in -10.0..10.0f64,
+        ) {
+            let q = Quat::from_euler(yaw, pitch, roll);
+            let v = Vec3::new(x, y, z);
+            prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_rotation_preserves_dot(
+            yaw in -3.0..3.0f64, pitch in -1.5..1.5f64, roll in -3.0..3.0f64,
+        ) {
+            let q = Quat::from_euler(yaw, pitch, roll);
+            let a = Vec3::new(1.0, 2.0, 3.0);
+            let b = Vec3::new(-0.5, 0.7, 0.2);
+            prop_assert!((q.rotate(a).dot(q.rotate(b)) - a.dot(b)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_pose_compose_associative(
+            y1 in -2.0..2.0f64, y2 in -2.0..2.0f64, y3 in -2.0..2.0f64,
+            t in -5.0..5.0f64,
+        ) {
+            let a = Pose3::new(Vec3::new(t, 0.0, 1.0), Quat::from_euler(y1, 0.1, 0.0));
+            let b = Pose3::new(Vec3::new(0.0, t, 0.0), Quat::from_euler(y2, 0.0, 0.2));
+            let c = Pose3::new(Vec3::new(1.0, 1.0, t), Quat::from_euler(y3, -0.1, 0.0));
+            let p = Vec3::new(0.4, -0.6, 0.9);
+            let left = a.compose(b).compose(c).transform_point(p);
+            let right = a.compose(b.compose(c)).transform_point(p);
+            prop_assert!((left - right).norm() < 1e-8);
+        }
+    }
+}

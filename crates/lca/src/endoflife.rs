@@ -1,0 +1,142 @@
+//! End-of-life management: recycling recovery and lifetime-extension
+//! accounting (the paper's §3.3 "Lifecycle Analysis & End-of-Life
+//! Management").
+
+use crate::embodied::DieSpec;
+use m7_units::KilogramsCo2e;
+use serde::{Deserialize, Serialize};
+
+/// What happens to a device at end of life.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EndOfLife {
+    /// Landfill: nothing recovered.
+    Landfill,
+    /// Material recycling: a fraction of the embodied carbon of the *next*
+    /// device is avoided by recovered materials.
+    Recycle {
+        /// Fraction of embodied carbon credited back, in `[0, 1]`.
+        recovery_fraction: f64,
+    },
+    /// Re-deployment into a second, lower-duty life (e.g. an inference
+    /// accelerator retired into a teaching lab).
+    SecondLife {
+        /// Additional service years obtained.
+        extra_years: f64,
+    },
+}
+
+/// Amortized embodied carbon per service-year for a device with the given
+/// first-life duration and end-of-life treatment.
+///
+/// # Panics
+///
+/// Panics if `service_years` is not positive, a recovery fraction is
+/// outside `[0, 1]`, or `extra_years` is negative.
+///
+/// # Examples
+///
+/// ```
+/// use m7_lca::embodied::DieSpec;
+/// use m7_lca::endoflife::{amortized_embodied, EndOfLife};
+/// use m7_units::SquareMillimeters;
+///
+/// let die = DieSpec::new(SquareMillimeters::new(100.0), 7.0);
+/// let landfill = amortized_embodied(&die, 3.0, EndOfLife::Landfill);
+/// let second_life = amortized_embodied(&die, 3.0, EndOfLife::SecondLife { extra_years: 3.0 });
+/// assert!(second_life.value() < landfill.value() * 0.6);
+/// ```
+#[must_use]
+pub fn amortized_embodied(die: &DieSpec, service_years: f64, eol: EndOfLife) -> KilogramsCo2e {
+    assert!(service_years > 0.0, "service years must be positive");
+    let embodied = die.embodied_carbon();
+    match eol {
+        EndOfLife::Landfill => embodied / service_years,
+        EndOfLife::Recycle { recovery_fraction } => {
+            assert!(
+                (0.0..=1.0).contains(&recovery_fraction),
+                "recovery fraction must be within [0, 1]"
+            );
+            embodied * (1.0 - recovery_fraction) / service_years
+        }
+        EndOfLife::SecondLife { extra_years } => {
+            assert!(extra_years >= 0.0, "extra years must be non-negative");
+            embodied / (service_years + extra_years)
+        }
+    }
+}
+
+/// Representative recovery fractions by recycling process quality.
+#[must_use]
+pub fn typical_recovery(process: RecyclingProcess) -> f64 {
+    match process {
+        RecyclingProcess::Shredding => 0.10,
+        RecyclingProcess::Smelting => 0.25,
+        RecyclingProcess::ComponentHarvesting => 0.45,
+    }
+}
+
+/// Recycling process classes, coarsest to most careful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecyclingProcess {
+    /// Bulk shredding and material sorting.
+    Shredding,
+    /// Precious-metal smelting recovery.
+    Smelting,
+    /// Desoldering and reusing whole components.
+    ComponentHarvesting,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m7_units::SquareMillimeters;
+
+    fn die() -> DieSpec {
+        DieSpec::new(SquareMillimeters::new(100.0), 7.0)
+    }
+
+    #[test]
+    fn landfill_is_worst() {
+        let d = die();
+        let landfill = amortized_embodied(&d, 4.0, EndOfLife::Landfill);
+        let recycle =
+            amortized_embodied(&d, 4.0, EndOfLife::Recycle { recovery_fraction: 0.25 });
+        let second =
+            amortized_embodied(&d, 4.0, EndOfLife::SecondLife { extra_years: 4.0 });
+        assert!(recycle < landfill);
+        assert!(second < landfill);
+    }
+
+    #[test]
+    fn longer_service_amortizes_linearly() {
+        let d = die();
+        let three = amortized_embodied(&d, 3.0, EndOfLife::Landfill);
+        let six = amortized_embodied(&d, 6.0, EndOfLife::Landfill);
+        assert!((three.value() / six.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_recovery_zeroes_amortized_carbon() {
+        let d = die();
+        let z = amortized_embodied(&d, 5.0, EndOfLife::Recycle { recovery_fraction: 1.0 });
+        assert_eq!(z, KilogramsCo2e::ZERO);
+    }
+
+    #[test]
+    fn recovery_fractions_are_ordered() {
+        assert!(
+            typical_recovery(RecyclingProcess::Shredding)
+                < typical_recovery(RecyclingProcess::Smelting)
+        );
+        assert!(
+            typical_recovery(RecyclingProcess::Smelting)
+                < typical_recovery(RecyclingProcess::ComponentHarvesting)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery fraction")]
+    fn rejects_bad_recovery() {
+        let _ = amortized_embodied(&die(), 1.0, EndOfLife::Recycle { recovery_fraction: 1.5 });
+    }
+}

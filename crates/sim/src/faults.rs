@@ -1,0 +1,190 @@
+//! Fault injection: sensor dropouts and compute brownouts scheduled
+//! against mission time.
+//!
+//! Real deployments — the paper's "real-world effects like reliability and
+//! robustness" (Challenge 6) — lose sensors to glare and dust and lose
+//! compute to thermal or power events. The fault schedule lets every
+//! closed-loop simulation in this crate be rerun under degradation, so
+//! robustness becomes a measurable design output.
+
+use m7_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The primary exteroceptive sensor produces nothing.
+    SensorDropout {
+        /// Fault onset (mission time).
+        start: Seconds,
+        /// Fault duration.
+        duration: Seconds,
+    },
+    /// Compute runs degraded (thermal throttle, power cap).
+    ComputeBrownout {
+        /// Fault onset (mission time).
+        start: Seconds,
+        /// Fault duration.
+        duration: Seconds,
+        /// Latency multiplier while active (> 1).
+        slowdown: f64,
+    },
+}
+
+impl Fault {
+    fn interval(&self) -> (Seconds, Seconds) {
+        match *self {
+            Fault::SensorDropout { start, duration }
+            | Fault::ComputeBrownout { start, duration, .. } => (start, start + duration),
+        }
+    }
+
+    /// Returns `true` if the fault is active at mission time `t`.
+    #[must_use]
+    pub fn active_at(&self, t: Seconds) -> bool {
+        let (s, e) = self.interval();
+        t >= s && t < e
+    }
+}
+
+/// A time-ordered set of faults.
+///
+/// # Examples
+///
+/// ```
+/// use m7_sim::faults::{Fault, FaultSchedule};
+/// use m7_units::Seconds;
+///
+/// let schedule = FaultSchedule::new(vec![Fault::SensorDropout {
+///     start: Seconds::new(10.0),
+///     duration: Seconds::new(5.0),
+/// }]);
+/// assert!(!schedule.sensor_available(Seconds::new(12.0)));
+/// assert!(schedule.sensor_available(Seconds::new(20.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any brownout slowdown is not ≥ 1 or any duration is
+    /// negative.
+    #[must_use]
+    pub fn new(faults: Vec<Fault>) -> Self {
+        for f in &faults {
+            let (s, e) = f.interval();
+            assert!(e >= s, "fault duration must be non-negative");
+            if let Fault::ComputeBrownout { slowdown, .. } = f {
+                assert!(*slowdown >= 1.0, "brownout slowdown must be >= 1");
+            }
+        }
+        Self { faults }
+    }
+
+    /// The empty schedule (nominal operation).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled faults.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the exteroceptive sensor is producing at time `t`.
+    #[must_use]
+    pub fn sensor_available(&self, t: Seconds) -> bool {
+        !self
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::SensorDropout { .. }) && f.active_at(t))
+    }
+
+    /// The compute latency multiplier at time `t` (product of active
+    /// brownouts; 1.0 nominal).
+    #[must_use]
+    pub fn compute_slowdown(&self, t: Seconds) -> f64 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ComputeBrownout { slowdown, .. } if f.active_at(t) => Some(*slowdown),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Total scheduled sensor-dropout seconds (for reporting).
+    #[must_use]
+    pub fn total_dropout(&self) -> Seconds {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SensorDropout { duration, .. } => Some(*duration),
+                Fault::ComputeBrownout { .. } => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_is_nominal() {
+        let s = FaultSchedule::none();
+        assert!(s.sensor_available(Seconds::new(0.0)));
+        assert_eq!(s.compute_slowdown(Seconds::new(100.0)), 1.0);
+        assert_eq!(s.total_dropout(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn dropout_window_is_half_open() {
+        let s = FaultSchedule::new(vec![Fault::SensorDropout {
+            start: Seconds::new(10.0),
+            duration: Seconds::new(5.0),
+        }]);
+        assert!(s.sensor_available(Seconds::new(9.99)));
+        assert!(!s.sensor_available(Seconds::new(10.0)));
+        assert!(!s.sensor_available(Seconds::new(14.99)));
+        assert!(s.sensor_available(Seconds::new(15.0)));
+        assert_eq!(s.total_dropout(), Seconds::new(5.0));
+    }
+
+    #[test]
+    fn overlapping_brownouts_compound() {
+        let s = FaultSchedule::new(vec![
+            Fault::ComputeBrownout {
+                start: Seconds::new(0.0),
+                duration: Seconds::new(10.0),
+                slowdown: 2.0,
+            },
+            Fault::ComputeBrownout {
+                start: Seconds::new(5.0),
+                duration: Seconds::new(10.0),
+                slowdown: 3.0,
+            },
+        ]);
+        assert_eq!(s.compute_slowdown(Seconds::new(2.0)), 2.0);
+        assert_eq!(s.compute_slowdown(Seconds::new(7.0)), 6.0);
+        assert_eq!(s.compute_slowdown(Seconds::new(12.0)), 3.0);
+        assert_eq!(s.compute_slowdown(Seconds::new(20.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn rejects_speedup_brownout() {
+        let _ = FaultSchedule::new(vec![Fault::ComputeBrownout {
+            start: Seconds::ZERO,
+            duration: Seconds::new(1.0),
+            slowdown: 0.5,
+        }]);
+    }
+}

@@ -1,0 +1,378 @@
+//! The sensor → marshalling → kernel → actuation pipeline with explicit
+//! data-movement taxes.
+//!
+//! This is the "forest" of Challenge 6: accelerating the kernel stage by
+//! 1000× moves end-to-end latency only as far as Amdahl's Law and the "AI
+//! tax" of ingest/marshalling allow. Experiment E7 sweeps
+//! [`Pipeline::with_kernel_speedup`] and reports the end-to-end curve.
+
+use crate::des::EventQueue;
+use crate::sensor::SensorSpec;
+use m7_arch::platform::Platform;
+use m7_arch::workload::KernelProfile;
+use m7_units::{Bytes, BytesPerSecond, Hertz, Seconds};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-stage latency budget of one frame through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBudget {
+    /// Sensor readout, serialization, and copy-in (the "AI tax").
+    pub ingest: Seconds,
+    /// Kernel execution on the platform (after any modeled speedup).
+    pub compute: Seconds,
+    /// Actuation transport and settling.
+    pub actuate: Seconds,
+}
+
+impl LatencyBudget {
+    /// Total end-to-end latency.
+    #[must_use]
+    pub fn total(&self) -> Seconds {
+        self.ingest + self.compute + self.actuate
+    }
+
+    /// Fraction of the total spent in the kernel — the Amdahl ceiling's
+    /// complement.
+    #[must_use]
+    pub fn compute_fraction(&self) -> f64 {
+        self.compute / self.total()
+    }
+}
+
+/// Throughput and latency statistics from a simulated pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Frames produced by the sensor.
+    pub frames_in: u64,
+    /// Frames fully processed.
+    pub frames_processed: u64,
+    /// Frames dropped at the full queue.
+    pub frames_dropped: u64,
+    /// Mean end-to-end latency of processed frames.
+    pub mean_latency: Seconds,
+    /// 99th-percentile end-to-end latency.
+    pub p99_latency: Seconds,
+    /// Achieved processing rate.
+    pub throughput: Hertz,
+}
+
+impl PipelineStats {
+    /// Fraction of produced frames that were dropped.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.frames_in == 0 {
+            return 0.0;
+        }
+        self.frames_dropped as f64 / self.frames_in as f64
+    }
+}
+
+/// An end-to-end perception/compute/actuation pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use m7_arch::platform::{Platform, PlatformKind};
+/// use m7_arch::workload::KernelProfile;
+/// use m7_sim::pipeline::Pipeline;
+/// use m7_sim::sensor::SensorSpec;
+///
+/// let p = Pipeline::new(
+///     SensorSpec::camera_vga(30.0),
+///     Platform::preset(PlatformKind::CpuSimd),
+///     KernelProfile::feature_extract(640, 480),
+/// );
+/// let budget = p.latency_budget();
+/// assert!(budget.total().value() > 0.0);
+/// // A 10× kernel speedup cannot deliver a 10× end-to-end speedup.
+/// let sped = p.with_kernel_speedup(10.0);
+/// let gain = budget.total() / sped.latency_budget().total();
+/// assert!(gain < 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    sensor: SensorSpec,
+    platform: Platform,
+    kernel: KernelProfile,
+    /// Marshalling/copy bandwidth from sensor memory into the compute
+    /// device.
+    marshalling_bandwidth: BytesPerSecond,
+    /// Fixed per-frame driver/serialization overhead.
+    marshalling_overhead: Seconds,
+    /// Actuator transport and settling delay.
+    actuation_latency: Seconds,
+    /// Modeled accelerator speedup applied to the kernel stage only.
+    kernel_speedup: f64,
+    /// Frames buffered before the compute stage; beyond this they drop.
+    queue_capacity: usize,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with representative marshalling and actuation
+    /// defaults (1 GB/s copy path, 0.5 ms driver overhead, 2 ms actuation).
+    #[must_use]
+    pub fn new(sensor: SensorSpec, platform: Platform, kernel: KernelProfile) -> Self {
+        Self {
+            sensor,
+            platform,
+            kernel,
+            marshalling_bandwidth: BytesPerSecond::from_gigabytes_per_second(1.0),
+            marshalling_overhead: Seconds::from_millis(0.5),
+            actuation_latency: Seconds::from_millis(2.0),
+            kernel_speedup: 1.0,
+            queue_capacity: 4,
+        }
+    }
+
+    /// Overrides the marshalling path (bandwidth + fixed overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is non-positive or overhead negative.
+    #[must_use]
+    pub fn with_marshalling(mut self, bandwidth: BytesPerSecond, overhead: Seconds) -> Self {
+        assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+        assert!(overhead.value() >= 0.0, "overhead must be non-negative");
+        self.marshalling_bandwidth = bandwidth;
+        self.marshalling_overhead = overhead;
+        self
+    }
+
+    /// Overrides the actuation latency.
+    #[must_use]
+    pub fn with_actuation(mut self, latency: Seconds) -> Self {
+        self.actuation_latency = latency;
+        self
+    }
+
+    /// Returns a pipeline whose kernel stage runs `factor`× faster (an
+    /// idealized accelerator swap) — everything else unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn with_kernel_speedup(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "speedup must be positive");
+        self.kernel_speedup = factor;
+        self
+    }
+
+    /// Overrides the compute-stage queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The sensor feeding this pipeline.
+    #[must_use]
+    pub fn sensor(&self) -> &SensorSpec {
+        &self.sensor
+    }
+
+    /// Per-frame latency budget through the three stages.
+    #[must_use]
+    pub fn latency_budget(&self) -> LatencyBudget {
+        let payload: Bytes = self.sensor.payload();
+        let ingest = self.marshalling_overhead
+            + Seconds::new(payload.value() / self.marshalling_bandwidth.value());
+        let compute = self.platform.estimate(&self.kernel).latency / self.kernel_speedup;
+        LatencyBudget { ingest, compute, actuate: self.actuation_latency }
+    }
+
+    /// End-to-end speedup delivered by a kernel-only speedup of `factor`,
+    /// relative to this pipeline — the Amdahl curve of experiment E7.
+    #[must_use]
+    pub fn end_to_end_speedup(&self, factor: f64) -> f64 {
+        let base = self.latency_budget().total();
+        let sped = self.clone().with_kernel_speedup(self.kernel_speedup * factor);
+        base / sped.latency_budget().total()
+    }
+
+    /// Simulates `duration` of operation with frames arriving at the sensor
+    /// rate and a single-server compute stage.
+    ///
+    /// Frames that arrive while the queue is full are dropped — the
+    /// backpressure behaviour of a real perception stack.
+    #[must_use]
+    pub fn simulate(&self, duration: Seconds) -> PipelineStats {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Event {
+            Arrival,
+            Done,
+        }
+
+        let budget = self.latency_budget();
+        let service = budget.ingest + budget.compute;
+        let period = self.sensor.rate().period();
+
+        let mut q: EventQueue<Event> = EventQueue::new();
+        q.schedule(Seconds::ZERO, Event::Arrival);
+
+        let mut waiting: VecDeque<Seconds> = VecDeque::new();
+        let mut busy = false;
+        let mut in_service_arrival = Seconds::ZERO;
+        let mut frames_in = 0u64;
+        let mut frames_processed = 0u64;
+        let mut frames_dropped = 0u64;
+        let mut latencies: Vec<f64> = Vec::new();
+
+        while let Some((now, event)) = q.pop() {
+            if now > duration {
+                break;
+            }
+            match event {
+                Event::Arrival => {
+                    frames_in += 1;
+                    if busy {
+                        if waiting.len() >= self.queue_capacity {
+                            frames_dropped += 1;
+                        } else {
+                            waiting.push_back(now);
+                        }
+                    } else {
+                        busy = true;
+                        in_service_arrival = now;
+                        q.schedule(now + service, Event::Done);
+                    }
+                    q.schedule(now + period, Event::Arrival);
+                }
+                Event::Done => {
+                    frames_processed += 1;
+                    let end_to_end = now + self.actuation_latency - in_service_arrival;
+                    latencies.push(end_to_end.value());
+                    match waiting.pop_front() {
+                        Some(arrival) => {
+                            in_service_arrival = arrival;
+                            q.schedule(now + service, Event::Done);
+                        }
+                        None => busy = false,
+                    }
+                }
+            }
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let p99 = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1)]
+        };
+        PipelineStats {
+            frames_in,
+            frames_processed,
+            frames_dropped,
+            mean_latency: Seconds::new(mean),
+            p99_latency: Seconds::new(p99),
+            throughput: Hertz::new(frames_processed as f64 / duration.value().max(1e-12)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m7_arch::platform::PlatformKind;
+
+    fn vga_pipeline(kind: PlatformKind) -> Pipeline {
+        Pipeline::new(
+            SensorSpec::camera_vga(30.0),
+            Platform::preset(kind),
+            KernelProfile::feature_extract(640, 480),
+        )
+    }
+
+    /// A full-HD pipeline heavy enough to overwhelm the scalar CPU.
+    fn hd_pipeline(kind: PlatformKind) -> Pipeline {
+        use crate::sensor::SensorKind;
+        Pipeline::new(
+            SensorSpec::new(
+                SensorKind::Camera,
+                Hertz::new(30.0),
+                Bytes::new(1920.0 * 1080.0),
+                2.0,
+            ),
+            Platform::preset(kind),
+            KernelProfile::feature_extract(1920, 1080),
+        )
+    }
+
+    #[test]
+    fn budget_components_positive() {
+        let b = vga_pipeline(PlatformKind::CpuSimd).latency_budget();
+        assert!(b.ingest.value() > 0.0);
+        assert!(b.compute.value() > 0.0);
+        assert!(b.actuate.value() > 0.0);
+        assert!(b.compute_fraction() > 0.0 && b.compute_fraction() < 1.0);
+    }
+
+    #[test]
+    fn amdahl_ceiling() {
+        let p = vga_pipeline(PlatformKind::CpuScalar);
+        let b = p.latency_budget();
+        let limit = 1.0 / (1.0 - b.compute_fraction());
+        let huge = p.end_to_end_speedup(1e9);
+        assert!(huge < limit * 1.001, "end-to-end speedup {huge} must respect Amdahl {limit}");
+        // Diminishing returns: 10→100 gains less than 1→10.
+        let g10 = p.end_to_end_speedup(10.0);
+        let g100 = p.end_to_end_speedup(100.0);
+        assert!(g100 / g10 < g10 / 1.0);
+    }
+
+    #[test]
+    fn fast_platform_keeps_up_with_camera() {
+        let stats = hd_pipeline(PlatformKind::Gpu).simulate(Seconds::new(10.0));
+        assert_eq!(stats.frames_dropped, 0, "GPU should keep up with 30 fps full-HD");
+        assert!(stats.throughput.value() > 25.0);
+        assert!(stats.mean_latency.value() > 0.0);
+        assert!(stats.p99_latency >= stats.mean_latency);
+    }
+
+    #[test]
+    fn slow_platform_drops_frames() {
+        let stats = hd_pipeline(PlatformKind::CpuScalar).simulate(Seconds::new(10.0));
+        assert!(stats.drop_rate() > 0.1, "scalar CPU cannot keep up: {:?}", stats);
+        assert!(stats.throughput.value() < 30.0);
+    }
+
+    #[test]
+    fn kernel_speedup_reduces_drops() {
+        let base = hd_pipeline(PlatformKind::CpuScalar);
+        let sped = base.clone().with_kernel_speedup(50.0);
+        let a = base.simulate(Seconds::new(10.0));
+        let b = sped.simulate(Seconds::new(10.0));
+        assert!(b.drop_rate() < a.drop_rate());
+        assert!(b.mean_latency < a.mean_latency);
+    }
+
+    #[test]
+    fn marshalling_tax_bounds_speedup() {
+        // Make the ingest tax dominate: slow copy path.
+        let p = vga_pipeline(PlatformKind::CpuSimd).with_marshalling(
+            BytesPerSecond::from_gigabytes_per_second(0.05),
+            Seconds::from_millis(2.0),
+        );
+        let gain = p.end_to_end_speedup(1000.0);
+        assert!(gain < 2.0, "ingest-dominated pipeline barely improves: {gain}");
+    }
+
+    #[test]
+    fn stats_drop_rate_handles_zero_frames() {
+        let stats = PipelineStats {
+            frames_in: 0,
+            frames_processed: 0,
+            frames_dropped: 0,
+            mean_latency: Seconds::ZERO,
+            p99_latency: Seconds::ZERO,
+            throughput: Hertz::new(0.0),
+        };
+        assert_eq!(stats.drop_rate(), 0.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! A differential-drive ground rover with the *actual* motion planner in
+//! the loop.
+//!
+//! Unlike the UAV model (which abstracts planning into a latency), the
+//! rover plans every leg with the real RRT from `m7-kernels`, tracks the
+//! smoothed path with pure pursuit, and pays for planning twice: once as
+//! stationary time (the vehicle waits on compute, scaled by the compute
+//! tier) and once as compute energy. This is the end-to-end loop the
+//! paper's Challenge 6 asks designs to be judged in.
+
+use crate::battery::Battery;
+use crate::uav::ComputeTier;
+use m7_kernels::geometry::{normalize_angle, Pose2, Vec2};
+use m7_kernels::planning::{CollisionWorld, Rrt, RrtConfig};
+use m7_units::{Grams, Joules, Meters, MetersPerSecond, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Rover chassis and power configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoverConfig {
+    /// Chassis mass excluding compute.
+    pub chassis_mass: Grams,
+    /// Battery capacity.
+    pub battery: Joules,
+    /// Rolling-resistance coefficient (dimensionless).
+    pub rolling_resistance: f64,
+    /// Drivetrain base (idle) power.
+    pub base_power: Watts,
+    /// Top speed.
+    pub max_speed: MetersPerSecond,
+    /// Pure-pursuit lookahead distance (meters).
+    pub lookahead: f64,
+    /// Onboard compute tier (sets planning latency and power).
+    pub tier: ComputeTier,
+}
+
+impl Default for RoverConfig {
+    fn default() -> Self {
+        Self {
+            chassis_mass: Grams::new(8000.0),
+            battery: Joules::from_watt_hours(100.0),
+            rolling_resistance: 0.03,
+            base_power: Watts::new(8.0),
+            max_speed: MetersPerSecond::new(2.0),
+            lookahead: 1.0,
+            tier: ComputeTier::Embedded,
+        }
+    }
+}
+
+/// Outcome of a patrol run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoverOutcome {
+    /// Goals reached before the battery died or planning failed.
+    pub goals_reached: usize,
+    /// Total elapsed time (driving + planning).
+    pub time: Seconds,
+    /// Time spent stationary waiting for the planner.
+    pub planning_time: Seconds,
+    /// Total energy drawn.
+    pub energy: Joules,
+    /// Distance actually driven.
+    pub distance: Meters,
+    /// `true` if every goal was reached.
+    pub completed: bool,
+}
+
+impl RoverOutcome {
+    /// Fraction of mission time spent waiting on compute.
+    #[must_use]
+    pub fn planning_fraction(&self) -> f64 {
+        if self.time.value() <= 0.0 {
+            return 0.0;
+        }
+        self.planning_time / self.time
+    }
+}
+
+/// The closed-loop rover simulator.
+///
+/// # Examples
+///
+/// ```
+/// use m7_kernels::geometry::Vec2;
+/// use m7_kernels::planning::CollisionWorld;
+/// use m7_sim::rover::{Rover, RoverConfig};
+///
+/// let world = CollisionWorld::new(20.0, 20.0);
+/// let rover = Rover::new(RoverConfig::default());
+/// let outcome = rover.patrol(&world, Vec2::new(1.0, 1.0), &[Vec2::new(18.0, 18.0)], 7);
+/// assert!(outcome.completed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rover {
+    config: RoverConfig,
+}
+
+impl Rover {
+    /// Creates a rover from its configuration.
+    #[must_use]
+    pub fn new(config: RoverConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RoverConfig {
+        &self.config
+    }
+
+    /// Drive power at speed `v`: rolling resistance plus drivetrain base.
+    #[must_use]
+    pub fn drive_power(&self, v: MetersPerSecond) -> Watts {
+        const G: f64 = 9.81;
+        let mass_kg =
+            (self.config.chassis_mass + self.config.tier.mass()).to_kilograms().value();
+        Watts::new(self.config.rolling_resistance * mass_kg * G * v.value())
+            + self.config.base_power
+    }
+
+    /// Patrols from `start` through every goal in order, planning each leg
+    /// with RRT and tracking it with pure pursuit. Deterministic in `seed`.
+    #[must_use]
+    pub fn patrol(
+        &self,
+        world: &CollisionWorld,
+        start: Vec2,
+        goals: &[Vec2],
+        seed: u64,
+    ) -> RoverOutcome {
+        let dt = Seconds::new(0.05);
+        let mut battery = Battery::new(self.config.battery);
+        let mut pose = Pose2::new(start, 0.0);
+        let mut time = Seconds::ZERO;
+        let mut planning_time = Seconds::ZERO;
+        let mut distance = Meters::new(0.0);
+        let mut goals_reached = 0usize;
+        let compute_power: Watts = self.config.tier.power();
+
+        'mission: for (leg, &goal) in goals.iter().enumerate() {
+            // Plan the leg (the rover sits still while compute runs).
+            let planner = Rrt::new(RrtConfig::default(), seed ^ (leg as u64) << 8);
+            let Some(raw) = planner.plan(world, pose.position, goal) else {
+                break;
+            };
+            let path = raw.shortcut(world);
+            let plan_cost = self.config.tier.plan_latency() * 20.0; // full leg plan ≈ 20 replans
+            planning_time += plan_cost;
+            time += plan_cost;
+            if !battery.draw(compute_power + self.config.base_power, plan_cost) {
+                break;
+            }
+
+            // Pure-pursuit tracking along the smoothed path.
+            let mut s = 0.0f64; // arc-length progress of the lookahead point
+            let max_steps = 200_000;
+            for _ in 0..max_steps {
+                if pose.position.distance(goal) < 0.5 {
+                    goals_reached += 1;
+                    continue 'mission;
+                }
+                // Advance the carrot to stay `lookahead` ahead of the rover.
+                while s < path.length()
+                    && path.point_at(s).distance(pose.position) < self.config.lookahead
+                {
+                    s += self.config.lookahead * 0.25;
+                }
+                let carrot = path.point_at(s.min(path.length()));
+                let to_carrot = carrot - pose.position;
+                let heading_error = normalize_angle(to_carrot.angle() - pose.heading);
+                // Unicycle command: slow down for sharp turns.
+                let v = self.config.max_speed * (1.0 - 0.7 * (heading_error.abs() / core::f64::consts::PI));
+                let omega = 2.5 * heading_error;
+                // Integrate the kinematics.
+                let step = v * dt;
+                pose = Pose2::new(
+                    pose.position + pose.forward() * step.value(),
+                    pose.heading + omega * dt.value(),
+                );
+                distance += step;
+                time += dt;
+                let p = self.drive_power(v) + compute_power;
+                if !battery.draw(p, dt) {
+                    break 'mission;
+                }
+            }
+            // Tracking stalled (should not happen on valid paths).
+            break;
+        }
+
+        RoverOutcome {
+            goals_reached,
+            time,
+            planning_time,
+            energy: battery.used().min(battery.capacity()),
+            distance,
+            completed: goals_reached == goals.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_world() -> CollisionWorld {
+        CollisionWorld::new(30.0, 30.0)
+    }
+
+    #[test]
+    fn reaches_single_goal_in_open_world() {
+        let rover = Rover::new(RoverConfig::default());
+        let out = rover.patrol(&open_world(), Vec2::new(2.0, 2.0), &[Vec2::new(25.0, 25.0)], 1);
+        assert!(out.completed, "open-world patrol must succeed: {out:?}");
+        assert!(out.distance.value() > 30.0, "diagonal is ~32.5 m");
+        assert!(out.energy.value() > 0.0);
+    }
+
+    #[test]
+    fn multi_goal_patrol() {
+        let mut world = CollisionWorld::new(30.0, 30.0);
+        world.add_rect(Vec2::new(12.0, 5.0), Vec2::new(14.0, 25.0));
+        let rover = Rover::new(RoverConfig::default());
+        let goals = [Vec2::new(25.0, 5.0), Vec2::new(25.0, 28.0), Vec2::new(2.0, 28.0)];
+        let out = rover.patrol(&world, Vec2::new(2.0, 2.0), &goals, 2);
+        assert_eq!(out.goals_reached, 3);
+        assert!(out.completed);
+        assert!(out.planning_time.value() > 0.0);
+    }
+
+    #[test]
+    fn weak_compute_spends_more_time_planning() {
+        let world = open_world();
+        let goals = [Vec2::new(28.0, 28.0)];
+        let fast = Rover::new(RoverConfig { tier: ComputeTier::EmbeddedGpu, ..RoverConfig::default() })
+            .patrol(&world, Vec2::new(1.0, 1.0), &goals, 3);
+        let slow = Rover::new(RoverConfig { tier: ComputeTier::Micro, ..RoverConfig::default() })
+            .patrol(&world, Vec2::new(1.0, 1.0), &goals, 3);
+        assert!(slow.planning_fraction() > fast.planning_fraction());
+        assert!(slow.time > fast.time, "waiting on compute slows the mission");
+    }
+
+    #[test]
+    fn dead_battery_aborts() {
+        let config = RoverConfig {
+            battery: Joules::new(200.0), // tiny
+            ..RoverConfig::default()
+        };
+        let out = Rover::new(config).patrol(
+            &open_world(),
+            Vec2::new(1.0, 1.0),
+            &[Vec2::new(28.0, 28.0)],
+            4,
+        );
+        assert!(!out.completed);
+        assert!(out.distance.value() < 40.0);
+    }
+
+    #[test]
+    fn unreachable_goal_fails_cleanly() {
+        let mut world = CollisionWorld::new(20.0, 20.0);
+        world.add_rect(Vec2::new(9.0, 0.0), Vec2::new(11.0, 20.0)); // full wall
+        let out = Rover::new(RoverConfig::default()).patrol(
+            &world,
+            Vec2::new(2.0, 10.0),
+            &[Vec2::new(18.0, 10.0)],
+            5,
+        );
+        assert!(!out.completed);
+        assert_eq!(out.goals_reached, 0);
+    }
+
+    #[test]
+    fn drive_power_grows_with_speed_and_mass() {
+        let rover = Rover::new(RoverConfig::default());
+        let slow = rover.drive_power(MetersPerSecond::new(0.5));
+        let fast = rover.drive_power(MetersPerSecond::new(2.0));
+        assert!(fast > slow);
+        let heavy = Rover::new(RoverConfig {
+            chassis_mass: Grams::new(20_000.0),
+            ..RoverConfig::default()
+        });
+        assert!(heavy.drive_power(MetersPerSecond::new(2.0)) > fast);
+    }
+
+    #[test]
+    fn deterministic() {
+        let world = open_world();
+        let rover = Rover::new(RoverConfig::default());
+        let a = rover.patrol(&world, Vec2::new(1.0, 1.0), &[Vec2::new(20.0, 25.0)], 9);
+        let b = rover.patrol(&world, Vec2::new(1.0, 1.0), &[Vec2::new(20.0, 25.0)], 9);
+        assert_eq!(a, b);
+    }
+}

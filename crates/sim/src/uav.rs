@@ -1,0 +1,422 @@
+//! A closed-loop point-mass UAV whose mission performance couples to its
+//! onboard compute tier — the experiment E5 ("Pump the Brakes") vehicle.
+//!
+//! Two couplings drive the result, both physical:
+//!
+//! 1. **Perception-limited speed.** The UAV may only fly as fast as it can
+//!    react: `v_safe = sensor_range / (2 · t_react)`, where `t_react` is the
+//!    compute tier's planning latency. Weak compute ⇒ slow flight ⇒ long
+//!    missions.
+//! 2. **Mass- and power-taxed endurance.** The compute board's mass raises
+//!    hover power superlinearly, and its electrical draw adds on top. Strong
+//!    compute ⇒ heavy, hungry vehicle ⇒ short endurance.
+//!
+//! Mission energy is therefore U-shaped in compute capability, exactly the
+//! shape the paper cites from UAV co-design studies.
+
+use crate::battery::{hover_power, Battery};
+use crate::mission::{MissionOutcome, MissionSpec};
+use crate::sensor::NoiseSource;
+use m7_units::{Grams, Hertz, Joules, Meters, MetersPerSecond, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Onboard compute tiers, weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComputeTier {
+    /// Microcontroller-class.
+    Micro,
+    /// Embedded CPU board.
+    Embedded,
+    /// Embedded GPU module (Jetson-class).
+    EmbeddedGpu,
+    /// Small-form-factor desktop with discrete GPU.
+    Desktop,
+    /// Workstation/server-class board.
+    Server,
+}
+
+impl ComputeTier {
+    /// All tiers, weakest to strongest.
+    pub const ALL: [Self; 5] =
+        [Self::Micro, Self::Embedded, Self::EmbeddedGpu, Self::Desktop, Self::Server];
+
+    /// Board mass.
+    #[must_use]
+    pub fn mass(self) -> Grams {
+        Grams::new(match self {
+            Self::Micro => 15.0,
+            Self::Embedded => 60.0,
+            Self::EmbeddedGpu => 280.0,
+            Self::Desktop => 700.0,
+            Self::Server => 1500.0,
+        })
+    }
+
+    /// Electrical power draw while planning.
+    #[must_use]
+    pub fn power(self) -> Watts {
+        Watts::new(match self {
+            Self::Micro => 2.0,
+            Self::Embedded => 10.0,
+            Self::EmbeddedGpu => 25.0,
+            Self::Desktop => 60.0,
+            Self::Server => 150.0,
+        })
+    }
+
+    /// End-to-end perceive-and-plan latency.
+    #[must_use]
+    pub fn plan_latency(self) -> Seconds {
+        Seconds::new(match self {
+            Self::Micro => 0.9,
+            Self::Embedded => 0.15,
+            Self::EmbeddedGpu => 0.03,
+            Self::Desktop => 0.015,
+            Self::Server => 0.008,
+        })
+    }
+
+    /// Replanning rate implied by the planning latency.
+    #[must_use]
+    pub fn plan_rate(self) -> Hertz {
+        self.plan_latency().rate()
+    }
+}
+
+impl core::fmt::Display for ComputeTier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::Micro => "micro",
+            Self::Embedded => "embedded",
+            Self::EmbeddedGpu => "embedded-gpu",
+            Self::Desktop => "desktop",
+            Self::Server => "server",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Airframe and payload configuration of the simulated UAV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UavConfig {
+    /// Airframe mass excluding compute and cargo.
+    pub frame_mass: Grams,
+    /// Battery capacity.
+    pub battery: Joules,
+    /// Total rotor disk area (m²).
+    pub rotor_disk_area: f64,
+    /// Obstacle sensing range (meters).
+    pub sensor_range: Meters,
+    /// Mechanical top speed.
+    pub max_speed: MetersPerSecond,
+    /// Onboard compute tier.
+    pub tier: ComputeTier,
+}
+
+impl Default for UavConfig {
+    fn default() -> Self {
+        Self {
+            frame_mass: Grams::new(1200.0),
+            battery: Joules::from_watt_hours(20.0),
+            rotor_disk_area: 0.25,
+            sensor_range: Meters::new(12.0),
+            max_speed: MetersPerSecond::new(16.0),
+            tier: ComputeTier::Embedded,
+        }
+    }
+}
+
+impl UavConfig {
+    /// Returns the config with a different compute tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: ComputeTier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Returns the config with a different battery capacity.
+    #[must_use]
+    pub fn with_battery(mut self, capacity: Joules) -> Self {
+        self.battery = capacity;
+        self
+    }
+}
+
+/// The closed-loop UAV simulator.
+///
+/// # Examples
+///
+/// ```
+/// use m7_sim::mission::MissionSpec;
+/// use m7_sim::uav::{ComputeTier, Uav, UavConfig};
+///
+/// let uav = Uav::new(UavConfig::default().with_tier(ComputeTier::EmbeddedGpu));
+/// let outcome = uav.fly(&MissionSpec::survey(1000.0), 7);
+/// assert!(outcome.completed);
+/// assert!(outcome.average_speed.value() > 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Uav {
+    config: UavConfig,
+}
+
+impl Uav {
+    /// Creates a UAV from its configuration.
+    #[must_use]
+    pub fn new(config: UavConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &UavConfig {
+        &self.config
+    }
+
+    /// The perception-limited safe cruise speed for this configuration:
+    /// the vehicle must be able to detect and clear an obstacle within half
+    /// its sensing range, so reaction latency caps speed.
+    #[must_use]
+    pub fn safe_speed(&self) -> MetersPerSecond {
+        let t_react = self.config.tier.plan_latency();
+        let v_limit = self.config.sensor_range.value() / (2.0 * t_react.value());
+        MetersPerSecond::new(v_limit).min(self.config.max_speed)
+    }
+
+    /// All-up mass for a mission (frame + compute + cargo).
+    #[must_use]
+    pub fn all_up_mass(&self, mission: &MissionSpec) -> Grams {
+        self.config.frame_mass + self.config.tier.mass() + Grams::new(mission.payload_grams())
+    }
+
+    /// Flies `mission`, deterministic in `seed`.
+    ///
+    /// Equivalent to [`Uav::fly_with_faults`] with an empty schedule.
+    #[must_use]
+    pub fn fly(&self, mission: &MissionSpec, seed: u64) -> MissionOutcome {
+        self.fly_with_faults(mission, &crate::faults::FaultSchedule::none(), seed)
+    }
+
+    /// Flies `mission` under a fault schedule, deterministic in `seed`.
+    ///
+    /// Fixed-step closed loop (20 ms): each step the vehicle cruises at its
+    /// gust-perturbed safe speed, draws hover plus compute power, and counts
+    /// replans at the tier's plan rate. During a sensor dropout the vehicle
+    /// creeps blind at 0.3 m/s; during a compute brownout the reaction
+    /// latency (and thus the safe speed) degrades by the scheduled factor.
+    /// The mission aborts when the battery empties.
+    #[must_use]
+    pub fn fly_with_faults(
+        &self,
+        mission: &MissionSpec,
+        faults: &crate::faults::FaultSchedule,
+        seed: u64,
+    ) -> MissionOutcome {
+        let dt = Seconds::new(0.02);
+        let mass = self.all_up_mass(mission);
+        let p_hover = hover_power(mass, self.config.rotor_disk_area);
+        let p_compute = self.config.tier.power();
+        let mut gusts = NoiseSource::new(mission.gust_std(), seed);
+
+        let mut battery = Battery::new(self.config.battery);
+        let mut covered = Meters::new(0.0);
+        let mut t = Seconds::ZERO;
+        let mut replan_accumulator = 0.0;
+        let mut replans = 0u64;
+        let plan_rate = self.config.tier.plan_rate();
+
+        // Safety cap so a mis-configured vehicle cannot spin forever.
+        let max_steps = 10_000_000usize;
+        let mut completed = false;
+        for _ in 0..max_steps {
+            if covered >= mission.distance() {
+                completed = true;
+                break;
+            }
+            // Fault-adjusted commanded speed.
+            let v_cmd = if faults.sensor_available(t) {
+                let slowdown = faults.compute_slowdown(t);
+                let t_react = self.config.tier.plan_latency() * slowdown;
+                MetersPerSecond::new(self.config.sensor_range.value() / (2.0 * t_react.value()))
+                    .min(self.config.max_speed)
+            } else {
+                MetersPerSecond::new(0.3) // blind creep
+            };
+            // Gusts perturb ground speed multiplicatively.
+            let v = (v_cmd * (1.0 + gusts.sample())).max(MetersPerSecond::new(0.0));
+            let p_total = p_hover + p_compute;
+            if !battery.draw(p_total, dt) {
+                t += dt;
+                break;
+            }
+            covered += v * dt;
+            t += dt;
+            replan_accumulator += plan_rate.value() * dt.value();
+            while replan_accumulator >= 1.0 {
+                replan_accumulator -= 1.0;
+                replans += 1;
+            }
+        }
+
+        let average_speed = if t.value() > 0.0 {
+            covered / t
+        } else {
+            MetersPerSecond::new(0.0)
+        };
+        MissionOutcome {
+            completed,
+            time: t,
+            energy: battery.used().min(battery.capacity()),
+            distance: covered.min(mission.distance()),
+            average_speed,
+            propulsion_power: p_hover,
+            compute_power: p_compute,
+            replans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_are_ordered() {
+        for pair in ComputeTier::ALL.windows(2) {
+            assert!(pair[0].mass() < pair[1].mass());
+            assert!(pair[0].power() < pair[1].power());
+            assert!(pair[0].plan_latency() > pair[1].plan_latency());
+        }
+    }
+
+    #[test]
+    fn weak_compute_limits_speed() {
+        let micro = Uav::new(UavConfig::default().with_tier(ComputeTier::Micro));
+        let gpu = Uav::new(UavConfig::default().with_tier(ComputeTier::EmbeddedGpu));
+        assert!(micro.safe_speed() < gpu.safe_speed());
+        // The GPU tier is mechanically limited, not perception limited.
+        assert_eq!(gpu.safe_speed(), UavConfig::default().max_speed);
+    }
+
+    #[test]
+    fn short_survey_completes_on_all_tiers() {
+        for tier in ComputeTier::ALL {
+            let uav = Uav::new(UavConfig::default().with_tier(tier));
+            let out = uav.fly(&MissionSpec::survey(500.0), 1);
+            assert!(out.completed, "tier {tier} failed a short survey");
+            assert!(out.energy.value() > 0.0);
+            assert!(out.replans > 0);
+        }
+    }
+
+    #[test]
+    fn mission_energy_is_u_shaped_in_tier() {
+        // Long survey: the embedded tier should beat both extremes.
+        let energies: Vec<f64> = ComputeTier::ALL
+            .iter()
+            .map(|&tier| {
+                Uav::new(UavConfig::default().with_tier(tier))
+                    .fly(&MissionSpec::survey(3000.0), 5)
+                    .energy_per_meter()
+            })
+            .collect();
+        let micro = energies[0];
+        let embedded = energies[1];
+        let server = energies[4];
+        assert!(embedded < micro, "embedded {embedded} should beat micro {micro}");
+        assert!(embedded < server, "embedded {embedded} should beat server {server}");
+    }
+
+    #[test]
+    fn overprovisioned_compute_fails_long_missions() {
+        let long = MissionSpec::survey(6000.0);
+        let embedded = Uav::new(UavConfig::default().with_tier(ComputeTier::Embedded)).fly(&long, 3);
+        let server = Uav::new(UavConfig::default().with_tier(ComputeTier::Server)).fly(&long, 3);
+        assert!(embedded.completed, "right-sized compute completes");
+        assert!(!server.completed, "over-provisioned compute drains the battery");
+        assert!(server.distance < long.distance());
+    }
+
+    #[test]
+    fn payload_raises_energy_per_meter() {
+        let uav = Uav::new(UavConfig::default());
+        let light = uav.fly(&MissionSpec::survey(1000.0), 2);
+        let heavy = uav.fly(&MissionSpec::delivery(1000.0, 800.0), 2);
+        assert!(heavy.energy_per_meter() > light.energy_per_meter());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let uav = Uav::new(UavConfig::default());
+        let a = uav.fly(&MissionSpec::survey(800.0), 11);
+        let b = uav.fly(&MissionSpec::survey(800.0), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensor_dropout_slows_the_mission() {
+        use crate::faults::{Fault, FaultSchedule};
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(1000.0);
+        let nominal = uav.fly(&mission, 1);
+        let degraded = uav.fly_with_faults(
+            &mission,
+            &FaultSchedule::new(vec![Fault::SensorDropout {
+                start: Seconds::new(5.0),
+                duration: Seconds::new(20.0),
+            }]),
+            1,
+        );
+        assert!(nominal.completed && degraded.completed);
+        assert!(
+            degraded.time.value() > nominal.time.value() + 15.0,
+            "20 s of blind creep costs real time: {} vs {}",
+            degraded.time,
+            nominal.time
+        );
+    }
+
+    #[test]
+    fn brownout_reduces_safe_speed() {
+        use crate::faults::{Fault, FaultSchedule};
+        // A tier that is perception-limited even nominally.
+        let uav = Uav::new(UavConfig::default().with_tier(ComputeTier::Micro));
+        let mission = MissionSpec::survey(500.0).with_gusts(0.0);
+        let nominal = uav.fly(&mission, 2);
+        let browned = uav.fly_with_faults(
+            &mission,
+            &FaultSchedule::new(vec![Fault::ComputeBrownout {
+                start: Seconds::ZERO,
+                duration: Seconds::new(1e6),
+                slowdown: 2.0,
+            }]),
+            2,
+        );
+        assert!(browned.time.value() > nominal.time.value() * 1.8, "half the speed, ~2x the time");
+    }
+
+    #[test]
+    fn long_blind_crawl_can_fail_the_mission() {
+        use crate::faults::{Fault, FaultSchedule};
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(3000.0);
+        let blinded = uav.fly_with_faults(
+            &mission,
+            &FaultSchedule::new(vec![Fault::SensorDropout {
+                start: Seconds::ZERO,
+                duration: Seconds::new(1e6),
+            }]),
+            3,
+        );
+        assert!(!blinded.completed, "creeping blind at 0.3 m/s drains the battery first");
+    }
+
+    #[test]
+    fn gusts_change_outcome_details_not_success() {
+        let uav = Uav::new(UavConfig::default());
+        let calm = uav.fly(&MissionSpec::survey(800.0).with_gusts(0.0), 1);
+        let windy = uav.fly(&MissionSpec::survey(800.0).with_gusts(0.1), 1);
+        assert!(calm.completed && windy.completed);
+        assert_ne!(calm.time, windy.time);
+    }
+}

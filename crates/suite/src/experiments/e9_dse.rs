@@ -1,0 +1,182 @@
+//! E9 — §3.1, "Machine Learning for System Design": sample-efficient
+//! design-space exploration over the *full system*.
+//!
+//! The objective is the mission-level metric from `m7-sim` (energy per
+//! meter of a UAV survey, with failed missions penalized), over a design
+//! space of compute tier × battery × rotor size × sensor range. Random,
+//! annealing, genetic, and surrogate-guided searches compete at a fixed
+//! evaluation budget; exhaustive enumeration provides the true optimum.
+
+use crate::report::{fmt_f64, Report, Table};
+use m7_dse::explorer::{Explorer, SearchBudget};
+use m7_dse::space::{DesignSpace, Dimension};
+use m7_sim::mission::MissionSpec;
+use m7_sim::uav::{ComputeTier, Uav, UavConfig};
+use m7_units::{Joules, Meters, MetersPerSecond};
+use serde::{Deserialize, Serialize};
+
+/// The UAV system design space (tier, battery Wh, rotor disk m², sensor
+/// range m).
+#[must_use]
+pub fn uav_design_space() -> DesignSpace {
+    DesignSpace::new(vec![
+        Dimension::new("tier", vec![0.0, 1.0, 2.0, 3.0, 4.0]),
+        Dimension::new("battery_wh", vec![10.0, 20.0, 40.0, 80.0]),
+        Dimension::new("rotor_m2", vec![0.15, 0.25, 0.4]),
+        Dimension::new("sensor_m", vec![8.0, 12.0, 20.0]),
+    ])
+}
+
+/// The mission-level objective: energy per meter, with incomplete
+/// missions penalized by the shortfall.
+#[must_use]
+pub fn mission_cost(values: &[f64], seed: u64) -> f64 {
+    let tier = ComputeTier::ALL[values[0] as usize];
+    let config = UavConfig {
+        frame_mass: m7_units::Grams::new(1200.0),
+        battery: Joules::from_watt_hours(values[1]),
+        rotor_disk_area: values[2],
+        sensor_range: Meters::new(values[3]),
+        max_speed: MetersPerSecond::new(16.0),
+        tier,
+    };
+    // Heavier batteries weigh the airframe down too: 150 g per 20 Wh.
+    let config = UavConfig {
+        frame_mass: config.frame_mass + m7_units::Grams::new(values[1] * 7.5),
+        ..config
+    };
+    let mission = MissionSpec::survey(4000.0);
+    let out = Uav::new(config).fly(&mission, seed);
+    if out.completed {
+        out.energy_per_meter()
+    } else {
+        // Penalize by how far short the vehicle fell.
+        let shortfall = 1.0 - out.distance.value() / mission.distance().value();
+        out.energy_per_meter() + 100.0 * shortfall + 20.0
+    }
+}
+
+/// The E9 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseResult {
+    /// True optimum cost (exhaustive enumeration).
+    pub optimum: f64,
+    /// Values of the optimal design.
+    pub optimum_values: Vec<f64>,
+    /// `(strategy, best cost at budget, evaluations to reach within 10% of
+    /// optimum — `None` if never)`.
+    pub rows: Vec<(String, f64, Option<usize>)>,
+}
+
+impl DseResult {
+    /// Renders the report.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut report = Report::new("E9 — ML for system design: DSE sample efficiency (§3.1)");
+        let mut t = Table::new(
+            "search strategies at a 40-evaluation budget",
+            vec![
+                "strategy",
+                "best cost [J/m]",
+                "evals to within 10% of optimum",
+            ],
+        );
+        for (name, cost, evals) in &self.rows {
+            t.push_row(vec![
+                name.clone(),
+                fmt_f64(*cost),
+                evals.map_or_else(|| "never".to_string(), |e| e.to_string()),
+            ]);
+        }
+        report.push_table(t);
+        report.push_note(format!(
+            "true optimum {} J/m at design {:?} (found by exhaustive enumeration of all \
+             {} points)",
+            fmt_f64(self.optimum),
+            self.optimum_values,
+            uav_design_space().cardinality()
+        ));
+        report
+    }
+}
+
+/// Runs E9, averaging placement over a few seeds internally for the
+/// within-10% statistic.
+#[must_use]
+pub fn run(seed: u64) -> DseResult {
+    let space = uav_design_space();
+    let objective = move |values: &[f64]| mission_cost(values, seed);
+    let budget = SearchBudget::new(40);
+
+    let exhaustive = Explorer::Exhaustive.run(
+        &space,
+        &objective,
+        SearchBudget::new(space.cardinality()),
+        seed,
+    );
+    let optimum = exhaustive.best_cost;
+    let threshold = optimum * 1.10;
+
+    let strategies = [
+        Explorer::Random,
+        Explorer::annealing(),
+        Explorer::genetic(),
+        Explorer::surrogate(),
+    ];
+    let rows = strategies
+        .iter()
+        .map(|strategy| {
+            let result = strategy.run(&space, &objective, budget, seed);
+            let within = result.trace.iter().position(|&c| c <= threshold).map(|i| i + 1);
+            (strategy.name().to_string(), result.best_cost, within)
+        })
+        .collect();
+    DseResult { optimum, optimum_values: exhaustive.best_values, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_picks_a_sane_design() {
+        let r = run(2);
+        assert!(r.optimum > 0.0 && r.optimum.is_finite());
+        // The optimal tier is never the extremes (U-shape, E5).
+        let tier = r.optimum_values[0] as usize;
+        assert!((1..=3).contains(&tier), "optimal tier index {tier}");
+    }
+
+    #[test]
+    fn all_strategies_return_finite_costs() {
+        let r = run(2);
+        assert_eq!(r.rows.len(), 4);
+        for (name, cost, _) in &r.rows {
+            assert!(cost.is_finite(), "{name}");
+            assert!(*cost >= r.optimum - 1e-9, "{name} cannot beat the true optimum");
+        }
+    }
+
+    #[test]
+    fn guided_search_reaches_near_optimum_within_budget() {
+        let r = run(2);
+        let surrogate = r.rows.iter().find(|(n, _, _)| n == "surrogate").unwrap();
+        assert!(
+            surrogate.2.is_some(),
+            "surrogate search should get within 10% of optimum in 40 evals"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn report_lists_all_strategies() {
+        let text = run(2).report().to_string();
+        for s in ["random", "annealing", "genetic", "surrogate"] {
+            assert!(text.contains(s), "missing {s}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The experiment registry: one module per paper-anchored experiment.
+//!
+//! | ID | Paper anchor | Claim shape reproduced |
+//! |----|--------------|------------------------|
+//! | E1 | Fig. 1 | publication mentions grow super-linearly 2014-2023 |
+//! | E2 | §2.1 Build Bridges | accelerating a benchmark-stale kernel wastes the design |
+//! | E3 | §2.2 Metrics Matter | raw throughput and time-to-accuracy rank precisions differently |
+//! | E4 | §2.3 Widgetism | a widget wins its task, loses the suite |
+//! | E5 | §2.4 Pump the Brakes | mission energy is U-shaped in compute tier |
+//! | E6 | §2.5 Chips and Salsa | batched software collision checking is dramatically faster |
+//! | E7 | §2.6 Forest vs. Trees | kernel speedups hit the Amdahl/AI-tax ceiling |
+//! | E8 | §2.7 Design Global | fleets rival datacenters; edge training is dirtier; chiplets save carbon |
+//! | E9 | §3.1 ML for design | surrogate-guided DSE is more sample-efficient |
+//! | E10 | §2.4 + §3.1 | accelerators contend — per-unit throughput degrades |
+
+pub mod e1_growth;
+pub mod e2_bridges;
+pub mod e3_metrics;
+pub mod e4_widgetism;
+pub mod e5_brakes;
+pub mod e6_platforms;
+pub mod e7_endtoend;
+pub mod e8_global;
+pub mod e9_dse;
+pub mod e10_contention;
+
+use crate::report::Report;
+use serde::{Deserialize, Serialize};
+
+/// A runnable experiment from the suite.
+///
+/// # Examples
+///
+/// ```
+/// use m7_suite::experiments::ExperimentId;
+///
+/// for id in ExperimentId::ALL {
+///     assert!(!id.description().is_empty());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentId {
+    /// E1 — publication-growth curve (paper Fig. 1).
+    E1Growth,
+    /// E2 — wrong-kernel acceleration (Challenge 1).
+    E2Bridges,
+    /// E3 — throughput vs. time-to-accuracy (Challenge 2).
+    E3Metrics,
+    /// E4 — widget vs. cross-cutting accelerator (Challenge 3).
+    E4Widgetism,
+    /// E5 — UAV compute-tier sweep (Challenge 4).
+    E5Brakes,
+    /// E6 — platform comparison for motion planning (Challenge 5).
+    E6Platforms,
+    /// E7 — end-to-end Amdahl / AI-tax curve (Challenge 6).
+    E7EndToEnd,
+    /// E8 — fleet, training, and chiplet carbon (Challenge 7).
+    E8Global,
+    /// E9 — DSE sample efficiency (§3.1).
+    E9Dse,
+    /// E10 — shared-resource contention (Challenge 4 ablation).
+    E10Contention,
+}
+
+impl ExperimentId {
+    /// All experiments, in paper order.
+    pub const ALL: [Self; 10] = [
+        Self::E1Growth,
+        Self::E2Bridges,
+        Self::E3Metrics,
+        Self::E4Widgetism,
+        Self::E5Brakes,
+        Self::E6Platforms,
+        Self::E7EndToEnd,
+        Self::E8Global,
+        Self::E9Dse,
+        Self::E10Contention,
+    ];
+
+    /// Short identifier used in file names and bench targets.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Self::E1Growth => "e1_growth",
+            Self::E2Bridges => "e2_bridges",
+            Self::E3Metrics => "e3_metrics",
+            Self::E4Widgetism => "e4_widgetism",
+            Self::E5Brakes => "e5_brakes",
+            Self::E6Platforms => "e6_platforms",
+            Self::E7EndToEnd => "e7_endtoend",
+            Self::E8Global => "e8_global",
+            Self::E9Dse => "e9_dse",
+            Self::E10Contention => "e10_contention",
+        }
+    }
+
+    /// One-line description with the paper anchor.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Self::E1Growth => "Fig. 1: growth of autonomy-accelerator publications",
+            Self::E2Bridges => "§2.1: accelerating an obsolete SLAM kernel wastes the design",
+            Self::E3Metrics => "§2.2: throughput and time-to-accuracy rank precisions differently",
+            Self::E4Widgetism => "§2.3: a widget ASIC wins its task but loses the task suite",
+            Self::E5Brakes => "§2.4: UAV mission energy is U-shaped in onboard compute",
+            Self::E6Platforms => "§2.5: batched/vectorized software transforms motion planning",
+            Self::E7EndToEnd => "§2.6: kernel speedups hit the end-to-end Amdahl/AI-tax ceiling",
+            Self::E8Global => "§2.7: fleet carbon, edge-vs-cloud training, chiplet reuse",
+            Self::E9Dse => "§3.1: surrogate-guided DSE finds better designs in fewer samples",
+            Self::E10Contention => "§2.4: accelerators are not free — shared-bus contention",
+        }
+    }
+
+    /// Runs the experiment with default parameters, deterministic in
+    /// `seed`.
+    #[must_use]
+    pub fn run(self, seed: u64) -> Report {
+        match self {
+            Self::E1Growth => e1_growth::run(seed).report(),
+            Self::E2Bridges => e2_bridges::run().report(),
+            Self::E3Metrics => e3_metrics::run(seed).report(),
+            Self::E4Widgetism => e4_widgetism::run().report(),
+            Self::E5Brakes => e5_brakes::run(seed).report(),
+            Self::E6Platforms => e6_platforms::run(seed).report(),
+            Self::E7EndToEnd => e7_endtoend::run().report(),
+            Self::E8Global => e8_global::run().report(),
+            Self::E9Dse => e9_dse::run(seed).report(),
+            Self::E10Contention => e10_contention::run().report(),
+        }
+    }
+}
+
+impl core::fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// Convenience alias used by example binaries.
+pub use ExperimentId as Experiment;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = ExperimentId::ALL.iter().map(|e| e.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), ExperimentId::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_slug() {
+        assert_eq!(ExperimentId::E5Brakes.to_string(), "e5_brakes");
+    }
+}

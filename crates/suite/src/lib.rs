@@ -1,0 +1,29 @@
+//! The `magseven` benchmark suite and experiment harness.
+//!
+//! Each of the paper's seven challenges (plus the DSE opportunity) maps to
+//! a quantitative experiment `E1..E10`; see `DESIGN.md` at the repository
+//! root for the full index. Every experiment:
+//!
+//! - is deterministic in an explicit seed,
+//! - returns typed result rows, and
+//! - renders a [`report::Report`] whose tables are the repository's
+//!   equivalent of the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use m7_suite::experiments::ExperimentId;
+//!
+//! let report = ExperimentId::E1Growth.run(42);
+//! assert!(!report.tables().is_empty());
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablations;
+pub mod challenges;
+pub mod experiments;
+pub mod report;
+pub mod workloads;

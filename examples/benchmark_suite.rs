@@ -1,0 +1,33 @@
+//! M7Bench across every platform preset, plus the framework's own
+//! modeling ablations (DVFS, contention on/off, sustained thermal).
+//!
+//! Run with: `cargo run --release --example benchmark_suite`
+
+use magseven::prelude::*;
+use magseven::suite::ablations;
+use magseven::suite::workloads::{m7bench, suite_summary};
+
+fn main() {
+    let suite = m7bench();
+    for kind in [
+        PlatformKind::CpuScalar,
+        PlatformKind::CpuSimd,
+        PlatformKind::Gpu,
+        PlatformKind::Fpga,
+        PlatformKind::Asic,
+    ] {
+        println!("{}", suite_summary(&Platform::preset(kind), &suite));
+    }
+
+    println!("{}", ablations::dvfs_pareto().report());
+    println!("{}", ablations::contention_onoff().report());
+    println!("{}", ablations::thermal_sustained().report());
+
+    // The taxonomy ties it together.
+    println!("# Challenge coverage\n");
+    for challenge in Challenge::ALL {
+        let evidence: Vec<String> =
+            challenge.experiments().iter().map(|e| e.slug().to_string()).collect();
+        println!("- {challenge}\n  evidence: {}", evidence.join(", "));
+    }
+}

@@ -1,0 +1,73 @@
+//! Design-space exploration over the full UAV system with mission-level
+//! objectives — the paper's "ML for system design" opportunity.
+//!
+//! Compares random, annealing, genetic, and surrogate-guided search at a
+//! fixed evaluation budget against the exhaustively known optimum, then
+//! prints the Pareto front of energy-vs-time across the whole space.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use magseven::prelude::*;
+use magseven::suite::experiments::e9_dse;
+
+fn main() {
+    let space = e9_dse::uav_design_space();
+    println!(
+        "design space: {} points across {} dimensions",
+        space.cardinality(),
+        space.dimensions().len()
+    );
+
+    // Scalar search: minimize mission energy per meter.
+    let seed = 11;
+    let objective = move |v: &[f64]| e9_dse::mission_cost(v, seed);
+    let optimum = Explorer::Exhaustive
+        .run(&space, &objective, SearchBudget::new(space.cardinality()), seed)
+        .best_cost;
+    println!("true optimum (exhaustive): {optimum:.2} J/m\n");
+
+    let budget = SearchBudget::new(40);
+    println!("{:<12} {:>12} {:>22}", "strategy", "best J/m", "evals to within 10%");
+    for strategy in [
+        Explorer::Random,
+        Explorer::annealing(),
+        Explorer::genetic(),
+        Explorer::surrogate(),
+    ] {
+        let result = strategy.run(&space, &objective, budget, seed);
+        let within = result
+            .trace
+            .iter()
+            .position(|&c| c <= optimum * 1.10)
+            .map_or("never".to_string(), |i| (i + 1).to_string());
+        println!("{:<12} {:>12.2} {:>22}", strategy.name(), result.best_cost, within);
+    }
+
+    // Multi-objective view: energy vs mission time across the whole space.
+    let mut metrics = Vec::new();
+    let mut labels = Vec::new();
+    for point in space.enumerate() {
+        let values = space.values(&point);
+        let tier = magseven::sim::uav::ComputeTier::ALL[values[0] as usize];
+        let config = magseven::sim::uav::UavConfig {
+            battery: magseven::units::Joules::from_watt_hours(values[1]),
+            rotor_disk_area: values[2],
+            sensor_range: magseven::units::Meters::new(values[3]),
+            ..Default::default()
+        };
+        let config = magseven::sim::uav::UavConfig { tier, ..config };
+        let out = Uav::new(config).fly(&MissionSpec::survey(4000.0), seed);
+        if out.completed {
+            metrics.push(vec![out.energy_per_meter(), out.time.value()]);
+            labels.push(values);
+        }
+    }
+    let front = pareto_front(&metrics);
+    println!("\nPareto front (energy/m vs mission time) — {} designs:", front.len());
+    for &i in &front {
+        println!(
+            "  tier={} battery={} Wh rotor={} m2 sensor={} m  ->  {:.2} J/m, {:.0} s",
+            labels[i][0], labels[i][1], labels[i][2], labels[i][3], metrics[i][0], metrics[i][1]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: the five-minute tour of `magseven`.
+//!
+//! Estimates a kernel on several platforms, plans a path, flies a short
+//! UAV mission, and prices the accelerator's carbon — the four levels the
+//! paper says a designer must reason across.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use magseven::prelude::*;
+
+fn main() {
+    // 1. Kernel level: where does a batched collision workload land on
+    //    each platform class?
+    let kernel = KernelProfile::collision_batch(50_000, 128);
+    println!("kernel: {} ({})", kernel.name(), kernel.ops());
+    for kind in [
+        PlatformKind::CpuScalar,
+        PlatformKind::CpuSimd,
+        PlatformKind::Gpu,
+        PlatformKind::Fpga,
+        PlatformKind::Asic,
+    ] {
+        let platform = Platform::preset(kind);
+        let cost = platform.estimate(&kernel);
+        println!(
+            "  {:<12} {:>9.3} ms  {:>8.3} mJ  ({})",
+            platform.name(),
+            cost.latency.as_millis(),
+            cost.energy.value() * 1e3,
+            cost.bound
+        );
+    }
+
+    // 2. Algorithm level: plan a real path through a cluttered workspace.
+    let mut world = CollisionWorld::new(20.0, 20.0);
+    world.scatter_circles(15, 0.5, 1.5, 7);
+    let planner = Rrt::new(RrtConfig::default(), 42);
+    match planner.plan(&world, Vec2::new(0.5, 0.5), Vec2::new(19.5, 19.5)) {
+        Some(path) => {
+            let smooth = path.shortcut(&world);
+            println!(
+                "\nplanned {:.1} m path ({} waypoints), {:.1} m after smoothing",
+                path.length(),
+                path.waypoints().len(),
+                smooth.length()
+            );
+        }
+        None => println!("\nno path found in this world"),
+    }
+
+    // 3. System level: fly the mission and read mission metrics, not TOPS.
+    let uav = Uav::new(UavConfig::default().with_tier(ComputeTier::EmbeddedGpu));
+    let outcome = uav.fly(&MissionSpec::survey(1000.0), 3);
+    println!(
+        "\nmission: completed={} time={:.0} s energy={:.1} kJ ({:.1} J/m)",
+        outcome.completed,
+        outcome.time.value(),
+        outcome.energy.value() / 1e3,
+        outcome.energy_per_meter()
+    );
+
+    // 4. Global level: what does the silicon cost the planet?
+    let die = DieSpec::new(SquareMillimeters::new(100.0), 7.0);
+    println!(
+        "\n100 mm2 7 nm accelerator: {:.1} kgCO2e embodied (yield {:.2})",
+        die.embodied_carbon().value(),
+        die.yield_fraction()
+    );
+}

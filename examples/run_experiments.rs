@@ -1,0 +1,25 @@
+//! Regenerates every paper-anchored experiment (E1-E10) and prints the
+//! full reports — the repository's equivalent of rebuilding all of the
+//! paper's figures in one command.
+//!
+//! Run with: `cargo run --release --example run_experiments [e5]`
+//!
+//! An optional argument selects a single experiment by slug prefix.
+
+use magseven::suite::experiments::ExperimentId;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let seed = 42;
+    for id in ExperimentId::ALL {
+        if let Some(f) = &filter {
+            if !id.slug().starts_with(f.as_str()) {
+                continue;
+            }
+        }
+        eprintln!("running {} — {}", id.slug(), id.description());
+        let report = id.run(seed);
+        println!("{report}");
+        println!("{}", "=".repeat(76));
+    }
+}

@@ -1,0 +1,50 @@
+//! UAV compute co-design: the paper's "pump the brakes" scenario as an
+//! interactive sweep.
+//!
+//! Flies the same survey mission on every compute tier and prints the
+//! mission-level consequences of the compute choice — the U-shaped curve
+//! that makes over-provisioning a real failure mode.
+//!
+//! Run with: `cargo run --example uav_codesign [distance_m]`
+
+use magseven::prelude::*;
+
+fn main() {
+    let distance: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000.0);
+    let mission = MissionSpec::survey(distance);
+    println!("survey mission: {distance} m, 20 Wh battery, 1.2 kg frame\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "tier", "speed m/s", "mass g", "time s", "J/m", "done"
+    );
+    let mut best: Option<(ComputeTier, f64)> = None;
+    for tier in ComputeTier::ALL {
+        let uav = Uav::new(UavConfig::default().with_tier(tier));
+        let out = uav.fly(&mission, 5);
+        println!(
+            "{:<14} {:>10.1} {:>10.0} {:>10.0} {:>10.2} {:>8}",
+            tier.to_string(),
+            uav.safe_speed().value(),
+            uav.all_up_mass(&mission).value(),
+            out.time.value(),
+            out.energy_per_meter(),
+            out.completed
+        );
+        if out.completed {
+            let epm = out.energy_per_meter();
+            if best.is_none_or(|(_, b)| epm < b) {
+                best = Some((tier, epm));
+            }
+        }
+    }
+    match best {
+        Some((tier, epm)) => println!(
+            "\nright-sized compute: {tier} at {epm:.2} J/m — more compute than this \
+             only adds mass and power"
+        ),
+        None => println!("\nno tier completed the mission; shorten it or enlarge the battery"),
+    }
+}

@@ -1,0 +1,80 @@
+//! Integration sweep over the whole experiment suite: every experiment
+//! runs, renders, and reproduces its paper-anchored headline shape.
+
+use magseven::suite::experiments::{
+    e2_bridges, e3_metrics, e4_widgetism, e5_brakes, e7_endtoend, e8_global, ExperimentId,
+};
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    for id in ExperimentId::ALL {
+        let report = id.run(42);
+        assert!(!report.tables().is_empty(), "{id} must produce tables");
+        let text = report.to_string();
+        assert!(text.len() > 100, "{id} report too small");
+        assert!(text.contains('|'), "{id} report should contain tables");
+    }
+}
+
+#[test]
+fn headline_shapes_hold_together() {
+    // E2: the widget's deployed-stack speedup collapses versus its
+    // benchmark speedup; the expert design wins where it matters.
+    let e2 = e2_bridges::run();
+    let widget = &e2.rows[0];
+    let expert = &e2.rows[1];
+    assert!(widget.1 > 2.0 && widget.2 < widget.1 / 2.0);
+    assert!(expert.2 > widget.2);
+
+    // E3: metric inversion.
+    let e3 = e3_metrics::run(42);
+    assert_ne!(e3.throughput_winner, e3.time_to_accuracy_winner);
+
+    // E4: widget loses the suite geomean to the cross-cutting design.
+    let e4 = e4_widgetism::run();
+    let widget_idx = e4.designs.iter().position(|d| d == "widget-prm-asic").unwrap();
+    let cross_idx = e4.designs.iter().position(|d| d == "crosscutting-asic").unwrap();
+    assert!(e4.suite_geomean[cross_idx] > e4.suite_geomean[widget_idx]);
+
+    // E5: U-shape with a middle-tier winner.
+    let e5 = e5_brakes::run(42);
+    assert!(e5.best_tier == "embedded" || e5.best_tier == "embedded-gpu");
+
+    // E7: the 1000x kernel gain is Amdahl-capped.
+    let e7 = e7_endtoend::run();
+    let (_, lean_1000, taxed_1000) = *e7.rows.last().unwrap();
+    assert!(lean_1000 < 1000.0 / 10.0);
+    assert!(taxed_1000 < lean_1000);
+
+    // E8: edge training dirtier; big fleets rival datacenters.
+    let e8 = e8_global::run();
+    assert!(e8.edge_cloud_ratio > 10.0);
+    assert!(e8.fleet_rows.last().unwrap().2 > 100.0);
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    for id in [ExperimentId::E1Growth, ExperimentId::E5Brakes, ExperimentId::E9Dse] {
+        let a = id.run(7).to_string();
+        let b = id.run(7).to_string();
+        assert_eq!(a, b, "{id} must be reproducible");
+    }
+}
+
+#[test]
+fn different_seeds_change_stochastic_experiments() {
+    let a = ExperimentId::E1Growth.run(1).to_string();
+    let b = ExperimentId::E1Growth.run(2).to_string();
+    assert_ne!(a, b, "the bibliometric draw is stochastic across seeds");
+}
+
+#[test]
+fn experiment_descriptions_reference_paper_sections() {
+    for id in ExperimentId::ALL {
+        let d = id.description();
+        assert!(
+            d.contains('§') || d.contains("Fig."),
+            "{id} description should carry its paper anchor: {d}"
+        );
+    }
+}
