@@ -39,10 +39,7 @@ impl SharedBus {
     /// Panics if capacity is non-positive or non-finite.
     #[must_use]
     pub fn new(capacity: BytesPerSecond) -> Self {
-        assert!(
-            capacity.value() > 0.0 && capacity.is_finite(),
-            "bus capacity must be positive"
-        );
+        assert!(capacity.value() > 0.0 && capacity.is_finite(), "bus capacity must be positive");
         Self { capacity }
     }
 

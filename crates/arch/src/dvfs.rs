@@ -100,10 +100,7 @@ pub fn scaled_platform(platform: &Platform, point: OperatingPoint) -> Platform {
 /// Pareto analysis.
 #[must_use]
 pub fn ladder_sweep(platform: &Platform) -> Vec<(OperatingPoint, Platform)> {
-    OperatingPoint::ladder()
-        .into_iter()
-        .map(|p| (p, scaled_platform(platform, p)))
-        .collect()
+    OperatingPoint::ladder().into_iter().map(|p| (p, scaled_platform(platform, p))).collect()
 }
 
 #[cfg(test)]
@@ -134,11 +131,9 @@ mod tests {
         // A compute-bound kernel so frequency matters.
         let kernel = KernelProfile::gemm(512);
         let base = nominal.estimate(&kernel);
-        let slow = scaled_platform(
-            &nominal,
-            OperatingPoint { frequency_scale: 0.5, voltage_scale: 0.8 },
-        )
-        .estimate(&kernel);
+        let slow =
+            scaled_platform(&nominal, OperatingPoint { frequency_scale: 0.5, voltage_scale: 0.8 })
+                .estimate(&kernel);
         assert!(slow.latency > base.latency);
         assert!(slow.energy < base.energy);
     }
@@ -148,12 +143,10 @@ mod tests {
         let nominal = Platform::preset(PlatformKind::CpuSimd);
         let kernel = KernelProfile::gemv(2048, 2048); // memory-bound
         let base = nominal.estimate(&kernel).latency;
-        let slow = scaled_platform(
-            &nominal,
-            OperatingPoint { frequency_scale: 0.75, voltage_scale: 0.9 },
-        )
-        .estimate(&kernel)
-        .latency;
+        let slow =
+            scaled_platform(&nominal, OperatingPoint { frequency_scale: 0.75, voltage_scale: 0.9 })
+                .estimate(&kernel)
+                .latency;
         // Bandwidth unchanged, so the slowdown is far less than 1/0.75.
         assert!(slow.value() / base.value() < 1.15, "{} vs {}", slow, base);
     }

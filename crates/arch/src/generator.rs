@@ -138,8 +138,7 @@ impl AcceleratorConfig {
     pub fn generate(&self) -> Result<Platform, GenerateError> {
         self.validate()?;
         let reuse = (1.0 + (1.0 + self.sram_kib / 64.0).log2()).min(8.0);
-        let effective_bw =
-            BytesPerSecond::from_gigabytes_per_second(self.dram_gbps * reuse);
+        let effective_bw = BytesPerSecond::from_gigabytes_per_second(self.dram_gbps * reuse);
         let specialization = if self.families.is_empty() {
             Specialization::GeneralPurpose
         } else {

@@ -313,16 +313,10 @@ impl Platform {
             self.roofline.attainable(profile.arithmetic_intensity()).value() * factor,
         );
         let t_overhead = self.dispatch_overhead;
-        let t_serial = if serial_ops.value() > 0.0 {
-            serial_ops / self.serial_rate
-        } else {
-            Seconds::ZERO
-        };
-        let t_parallel = if parallel_ops.value() > 0.0 {
-            parallel_ops / attainable
-        } else {
-            Seconds::ZERO
-        };
+        let t_serial =
+            if serial_ops.value() > 0.0 { serial_ops / self.serial_rate } else { Seconds::ZERO };
+        let t_parallel =
+            if parallel_ops.value() > 0.0 { parallel_ops / attainable } else { Seconds::ZERO };
         let latency = t_overhead + t_serial + t_parallel;
 
         let bound = {
@@ -338,11 +332,7 @@ impl Platform {
         };
 
         let energy: Joules = self.active_power * latency;
-        let achieved = if latency.value() > 0.0 {
-            ops / latency
-        } else {
-            OpsPerSecond::ZERO
-        };
+        let achieved = if latency.value() > 0.0 { ops / latency } else { OpsPerSecond::ZERO };
         CostEstimate { latency, energy, achieved, power: self.active_power, bound }
     }
 
@@ -376,7 +366,11 @@ impl Platform {
     /// Bytes-per-second of input this platform can absorb for `profile`
     /// when invoked back-to-back (sensor-rate matching, Challenge 4).
     #[must_use]
-    pub fn sustainable_input_rate(&self, profile: &KernelProfile, input_bytes: Bytes) -> BytesPerSecond {
+    pub fn sustainable_input_rate(
+        &self,
+        profile: &KernelProfile,
+        input_bytes: Bytes,
+    ) -> BytesPerSecond {
         let per_invocation = self.estimate(profile).latency;
         if per_invocation.value() <= 0.0 {
             return BytesPerSecond::new(f64::INFINITY);

@@ -179,7 +179,8 @@ pub fn parse_platform(input: &str) -> Result<Platform, ParseSpecError> {
                     builder.serial_rate(OpsPerSecond::from_gigaops(parse_f64(line, &key, &value)?));
             }
             "dispatch_us" => {
-                builder = builder.dispatch_overhead(Seconds::from_micros(parse_f64(line, &key, &value)?));
+                builder =
+                    builder.dispatch_overhead(Seconds::from_micros(parse_f64(line, &key, &value)?));
             }
             "active_w" => active = Watts::new(parse_f64(line, &key, &value)?),
             "idle_w" => idle = Watts::new(parse_f64(line, &key, &value)?),

@@ -280,13 +280,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "parallel_fraction")]
     fn rejects_bad_parallel_fraction() {
-        let _ = KernelProfile::new(
-            "bad",
-            KernelFamily::Other,
-            Ops::new(1.0),
-            Bytes::new(1.0),
-            1.5,
-        );
+        let _ = KernelProfile::new("bad", KernelFamily::Other, Ops::new(1.0), Bytes::new(1.0), 1.5);
     }
 
     #[test]

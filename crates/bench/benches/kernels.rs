@@ -33,12 +33,7 @@ fn bench_collision_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("collision_2048_edges");
     group.throughput(Throughput::Elements(edges.len() as u64));
     group.bench_function("scalar_sampled_validator", |b| {
-        b.iter(|| {
-            edges
-                .iter()
-                .filter(|(a, b)| world.segment_free_sampled(*a, *b, 0.05))
-                .count()
-        })
+        b.iter(|| edges.iter().filter(|(a, b)| world.segment_free_sampled(*a, *b, 0.05)).count())
     });
     group.bench_function("scalar_exact", |b| {
         b.iter(|| edges.iter().filter(|(a, b)| world.segment_free(*a, *b)).count())
@@ -56,8 +51,11 @@ fn bench_rrt(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("cluttered_20x20", |b| {
         b.iter(|| {
-            Rrt::new(RrtConfig::default(), BENCH_SEED)
-                .plan(&world, Vec2::new(0.5, 0.5), Vec2::new(19.5, 19.5))
+            Rrt::new(RrtConfig::default(), BENCH_SEED).plan(
+                &world,
+                Vec2::new(0.5, 0.5),
+                Vec2::new(19.5, 19.5),
+            )
         })
     });
     group.finish();
@@ -68,11 +66,7 @@ fn bench_ekf_slam(c: &mut Criterion) {
     // predict+update cycle (the steady-state cost).
     let mut template = EkfSlam::new(EkfSlamConfig::default());
     for id in 0..20 {
-        template.update(&[LandmarkObservation {
-            id,
-            range: 5.0,
-            bearing: 0.1 * f64::from(id),
-        }]);
+        template.update(&[LandmarkObservation { id, range: 5.0, bearing: 0.1 * f64::from(id) }]);
     }
     c.bench_function("ekf_slam/predict_update_20_landmarks", |b| {
         b.iter(|| {
@@ -91,11 +85,9 @@ fn bench_dnn_inference(c: &mut Criterion) {
     let input = [1.5, -0.5];
     let mut group = c.benchmark_group("dnn_forward");
     for precision in Precision::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(precision),
-            &precision,
-            |b, &p| b.iter(|| black_box(mlp.forward(black_box(&input), p))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(precision), &precision, |b, &p| {
+            b.iter(|| black_box(mlp.forward(black_box(&input), p)))
+        });
     }
     group.finish();
 }

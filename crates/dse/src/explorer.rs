@@ -1,10 +1,16 @@
 //! Search strategies over discrete design spaces: exhaustive, random,
 //! simulated annealing, genetic, and surrogate-guided (the ML-for-design
 //! strategy of paper §3.1).
+//!
+//! Every strategy that evaluates designs in batches (exhaustive, random,
+//! genetic generations, surrogate candidate scoring) runs those batches
+//! through the [`m7_par`] deterministic pool: results are bit-identical
+//! for any thread count, so a search seeded with `s` returns the same
+//! [`SearchResult`] at `M7_THREADS=1` and `M7_THREADS=64`.
 
 use crate::space::{DesignSpace, PointIndex};
 use crate::surrogate::Forest;
-use parking_lot::Mutex;
+use m7_par::ParConfig;
 use rand::{Rng, SeedableRng};
 
 /// A design objective to *minimize* (e.g. mission energy per meter, or a
@@ -147,45 +153,57 @@ impl Explorer {
         budget: SearchBudget,
         seed: u64,
     ) -> SearchResult {
+        self.run_with(space, objective, budget, seed, ParConfig::default())
+    }
+
+    /// Runs the search with an explicit parallelism configuration.
+    ///
+    /// The result is bit-identical for any `par` — threads change only
+    /// wall-clock time — so callers may pick [`ParConfig::serial`] for
+    /// latency-insensitive correctness tests and the default for sweeps.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        par: ParConfig,
+    ) -> SearchResult {
         match self {
-            Self::Exhaustive => Self::run_exhaustive(space, objective, budget),
-            Self::Random => Self::run_random(space, objective, budget, seed),
+            Self::Exhaustive => Self::run_exhaustive(space, objective, budget, par),
+            Self::Random => Self::run_random(space, objective, budget, seed, par),
             Self::Annealing { initial_temperature, cooling } => {
                 Self::run_annealing(space, objective, budget, seed, *initial_temperature, *cooling)
             }
             Self::Genetic { population, mutation_rate } => {
-                Self::run_genetic(space, objective, budget, seed, *population, *mutation_rate)
+                Self::run_genetic(space, objective, budget, seed, *population, *mutation_rate, par)
             }
-            Self::SurrogateGuided { warmup, candidates, kappa } => {
-                Self::run_surrogate(space, objective, budget, seed, *warmup, *candidates, *kappa)
-            }
+            Self::SurrogateGuided { warmup, candidates, kappa } => Self::run_surrogate(
+                space,
+                objective,
+                budget,
+                seed,
+                *warmup,
+                *candidates,
+                *kappa,
+                par,
+            ),
         }
     }
 
-    /// Evaluates a batch of points in parallel (deterministic result
-    /// order), returning their costs.
+    /// Evaluates a batch of points through the deterministic pool.
+    ///
+    /// Each design's cost lands in the slot of its input index — no
+    /// shared accumulator, no lock, and the output is identical to the
+    /// serial `points.iter().map(...)` loop for any thread count.
     fn evaluate_batch(
         space: &DesignSpace,
         objective: &dyn Objective,
         points: &[PointIndex],
+        par: ParConfig,
     ) -> Vec<f64> {
-        let results = Mutex::new(vec![f64::NAN; points.len()]);
-        let n_threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
-        let chunk = points.len().div_ceil(n_threads).max(1);
-        crossbeam::thread::scope(|scope| {
-            for (t, batch) in points.chunks(chunk).enumerate() {
-                let results = &results;
-                let base = t * chunk;
-                scope.spawn(move |_| {
-                    for (i, p) in batch.iter().enumerate() {
-                        let cost = objective.evaluate(&space.values(p));
-                        results.lock()[base + i] = cost;
-                    }
-                });
-            }
-        })
-        .expect("evaluation threads do not panic");
-        results.into_inner()
+        par.par_map(points, |p| objective.evaluate(&space.values(p)))
     }
 
     fn collect(points: Vec<PointIndex>, costs: Vec<f64>, space: &DesignSpace) -> SearchResult {
@@ -212,10 +230,11 @@ impl Explorer {
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
+        par: ParConfig,
     ) -> SearchResult {
         let mut points = space.enumerate();
         points.truncate(budget.max_evaluations);
-        let costs = Self::evaluate_batch(space, objective, &points);
+        let costs = Self::evaluate_batch(space, objective, &points, par);
         Self::collect(points, costs, space)
     }
 
@@ -224,11 +243,12 @@ impl Explorer {
         objective: &dyn Objective,
         budget: SearchBudget,
         seed: u64,
+        par: ParConfig,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let points: Vec<PointIndex> =
             (0..budget.max_evaluations).map(|_| space.sample(&mut rng)).collect();
-        let costs = Self::evaluate_batch(space, objective, &points);
+        let costs = Self::evaluate_batch(space, objective, &points, par);
         Self::collect(points, costs, space)
     }
 
@@ -274,6 +294,14 @@ impl Explorer {
         }
     }
 
+    /// A (μ + λ) generational genetic algorithm.
+    ///
+    /// Each generation breeds a full batch of `population` children
+    /// (RNG-driven selection runs serially so the child set is a pure
+    /// function of the seed), evaluates the batch through the
+    /// deterministic pool, then folds the results back into the parent
+    /// pool in index order. Parallelism changes wall-clock only.
+    #[allow(clippy::too_many_arguments)]
     fn run_genetic(
         space: &DesignSpace,
         objective: &dyn Objective,
@@ -281,24 +309,26 @@ impl Explorer {
         seed: u64,
         population: usize,
         mutation_rate: f64,
+        par: ParConfig,
     ) -> SearchResult {
         let population = population.max(2).min(budget.max_evaluations);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let mut pool: Vec<(PointIndex, f64)> = (0..population)
-            .map(|_| {
-                let p = space.sample(&mut rng);
-                let c = objective.evaluate(&space.values(&p));
-                (p, c)
-            })
-            .collect();
+
+        let seeds: Vec<PointIndex> = (0..population).map(|_| space.sample(&mut rng)).collect();
+        let seed_costs = Self::evaluate_batch(space, objective, &seeds, par);
+        let mut pool: Vec<(PointIndex, f64)> = seeds.into_iter().zip(seed_costs).collect();
+
         let mut trace: Vec<f64> = Vec::with_capacity(budget.max_evaluations);
         let mut best_so_far = f64::INFINITY;
         for (_, c) in &pool {
             best_so_far = best_so_far.min(*c);
             trace.push(best_so_far);
         }
+
         while trace.len() < budget.max_evaluations {
-            // Tournament selection of two parents.
+            let lambda = population.min(budget.max_evaluations - trace.len());
+            // Breed the whole generation serially: the child set depends
+            // only on the seed, never on evaluation scheduling.
             let pick = |rng: &mut rand_chacha::ChaCha8Rng| {
                 let a = rng.gen_range(0..pool.len());
                 let b = rng.gen_range(0..pool.len());
@@ -308,21 +338,30 @@ impl Explorer {
                     b
                 }
             };
-            let pa = pick(&mut rng);
-            let pb = pick(&mut rng);
-            let mut child = space.crossover(&pool[pa].0, &pool[pb].0, &mut rng);
-            if rng.gen_bool(mutation_rate.clamp(0.0, 1.0)) {
-                child = space.neighbor(&child, &mut rng);
-            }
-            let cost = objective.evaluate(&space.values(&child));
-            best_so_far = best_so_far.min(cost);
-            trace.push(best_so_far);
-            // Replace the worst member if the child improves on it.
-            let worst = (0..pool.len())
-                .max_by(|&a, &b| pool[a].1.partial_cmp(&pool[b].1).expect("finite costs"))
-                .expect("pool is nonempty");
-            if cost < pool[worst].1 {
-                pool[worst] = (child, cost);
+            let children: Vec<PointIndex> = (0..lambda)
+                .map(|_| {
+                    let pa = pick(&mut rng);
+                    let pb = pick(&mut rng);
+                    let mut child = space.crossover(&pool[pa].0, &pool[pb].0, &mut rng);
+                    if rng.gen_bool(mutation_rate.clamp(0.0, 1.0)) {
+                        child = space.neighbor(&child, &mut rng);
+                    }
+                    child
+                })
+                .collect();
+
+            let costs = Self::evaluate_batch(space, objective, &children, par);
+
+            // Fold children back in deterministic index order.
+            for (child, cost) in children.into_iter().zip(costs) {
+                best_so_far = best_so_far.min(cost);
+                trace.push(best_so_far);
+                let worst = (0..pool.len())
+                    .max_by(|&a, &b| pool[a].1.partial_cmp(&pool[b].1).expect("finite costs"))
+                    .expect("pool is nonempty");
+                if cost < pool[worst].1 {
+                    pool[worst] = (child, cost);
+                }
             }
         }
         let best = pool
@@ -339,6 +378,14 @@ impl Explorer {
     }
 
     #[allow(clippy::too_many_arguments)]
+    /// Surrogate-guided search with parallel candidate scoring.
+    ///
+    /// Candidate points are sampled serially (the RNG stream is a pure
+    /// function of the seed); forest predictions over the pool are
+    /// evaluated through the deterministic pool; the min-LCB winner is
+    /// chosen by a serial first-index scan, so ties break identically
+    /// at any thread count.
+    #[allow(clippy::too_many_arguments)]
     fn run_surrogate(
         space: &DesignSpace,
         objective: &dyn Objective,
@@ -347,6 +394,7 @@ impl Explorer {
         warmup: usize,
         candidates: usize,
         kappa: f64,
+        par: ParConfig,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let warmup = warmup.clamp(2, budget.max_evaluations);
@@ -354,9 +402,9 @@ impl Explorer {
         let mut trace = Vec::with_capacity(budget.max_evaluations);
         let mut best_so_far = f64::INFINITY;
         let spend = |point: PointIndex,
-                         evaluated: &mut Vec<(PointIndex, Vec<f64>, f64)>,
-                         trace: &mut Vec<f64>,
-                         best_so_far: &mut f64| {
+                     evaluated: &mut Vec<(PointIndex, Vec<f64>, f64)>,
+                     trace: &mut Vec<f64>,
+                     best_so_far: &mut f64| {
             let values = space.values(&point);
             let cost = objective.evaluate(&values);
             *best_so_far = best_so_far.min(cost);
@@ -371,21 +419,25 @@ impl Explorer {
             let xs: Vec<Vec<f64>> = evaluated.iter().map(|(_, v, _)| v.clone()).collect();
             let ys: Vec<f64> = evaluated.iter().map(|(_, _, c)| *c).collect();
             let forest = Forest::fit(&xs, &ys, 16, 6, seed ^ trace.len() as u64);
-            // Score a random candidate pool by lower confidence bound.
-            let mut best_candidate: Option<(PointIndex, f64)> = None;
-            for _ in 0..candidates {
-                let p = space.sample(&mut rng);
-                if evaluated.iter().any(|(q, _, _)| q == &p) {
-                    continue;
-                }
-                let (mean, std) = forest.predict_with_uncertainty(&space.values(&p));
-                let lcb = mean - kappa * std;
-                if best_candidate.as_ref().is_none_or(|(_, s)| lcb < *s) {
-                    best_candidate = Some((p, lcb));
+            // Sample the candidate pool serially (same RNG stream as the
+            // serial path), then score it in parallel by lower confidence
+            // bound. The winner is the first index attaining the minimum.
+            let pool: Vec<PointIndex> = (0..candidates)
+                .map(|_| space.sample(&mut rng))
+                .filter(|p| !evaluated.iter().any(|(q, _, _)| q == p))
+                .collect();
+            let scores = par.par_map(&pool, |p| {
+                let (mean, std) = forest.predict_with_uncertainty(&space.values(p));
+                mean - kappa * std
+            });
+            let mut best_candidate: Option<(usize, f64)> = None;
+            for (i, lcb) in scores.iter().enumerate() {
+                if best_candidate.as_ref().is_none_or(|(_, s)| lcb < s) {
+                    best_candidate = Some((i, *lcb));
                 }
             }
             let next = match best_candidate {
-                Some((p, _)) => p,
+                Some((i, _)) => pool[i].clone(),
                 None => space.sample(&mut rng),
             };
             spend(next, &mut evaluated, &mut trace, &mut best_so_far);
@@ -440,12 +492,9 @@ mod tests {
     #[test]
     fn traces_are_monotone_nonincreasing() {
         let space = grid_space(16);
-        for explorer in [
-            Explorer::Random,
-            Explorer::annealing(),
-            Explorer::genetic(),
-            Explorer::surrogate(),
-        ] {
+        for explorer in
+            [Explorer::Random, Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()]
+        {
             let r = explorer.run(&space, &rugged, SearchBudget::new(60), 3);
             assert_eq!(r.evaluations, 60, "{}", explorer.name());
             for w in r.trace.windows(2) {
@@ -458,9 +507,8 @@ mod tests {
     #[test]
     fn all_strategies_approach_the_optimum() {
         let space = grid_space(16);
-        let optimum = Explorer::Exhaustive
-            .run(&space, &rugged, SearchBudget::new(256), 0)
-            .best_cost;
+        let optimum =
+            Explorer::Exhaustive.run(&space, &rugged, SearchBudget::new(256), 0).best_cost;
         for explorer in [Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()] {
             let r = explorer.run(&space, &rugged, SearchBudget::new(120), 5);
             assert!(

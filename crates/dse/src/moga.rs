@@ -7,6 +7,7 @@
 
 use crate::pareto::pareto_front;
 use crate::space::{DesignSpace, PointIndex};
+use m7_par::ParConfig;
 use rand::{Rng, SeedableRng};
 
 /// A multi-objective cost function: every objective is minimized.
@@ -108,12 +109,36 @@ pub fn nsga2(
     population: usize,
     seed: u64,
 ) -> Vec<FrontMember> {
+    nsga2_with(space, objective, generations, population, seed, ParConfig::default())
+}
+
+/// [`nsga2`] with an explicit parallel-execution configuration.
+///
+/// Objective vectors for the parent seeding and every generation's
+/// offspring are evaluated through the deterministic pool; selection and
+/// breeding stay serial so the front is bit-identical at any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `population < 4`.
+#[must_use]
+pub fn nsga2_with(
+    space: &DesignSpace,
+    objective: &dyn MultiObjective,
+    generations: usize,
+    population: usize,
+    seed: u64,
+    par: ParConfig,
+) -> Vec<FrontMember> {
     assert!(population >= 4, "population must be at least 4");
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    let evaluate = |p: &PointIndex| objective.evaluate(&space.values(p));
+    let evaluate_batch = |ps: &[PointIndex]| -> Vec<Vec<f64>> {
+        par.par_map(ps, |p| objective.evaluate(&space.values(p)))
+    };
 
     let mut points: Vec<PointIndex> = (0..population).map(|_| space.sample(&mut rng)).collect();
-    let mut objs: Vec<Vec<f64>> = points.iter().map(&evaluate).collect();
+    let mut objs: Vec<Vec<f64>> = evaluate_batch(&points);
 
     for _ in 0..generations {
         // Produce offspring: binary tournament on (rank, crowding).
@@ -121,8 +146,7 @@ pub fn nsga2(
         let mut crowd = vec![0.0f64; points.len()];
         let max_rank = ranks.iter().copied().max().unwrap_or(0);
         for r in 0..=max_rank {
-            let members: Vec<usize> =
-                (0..points.len()).filter(|&i| ranks[i] == r).collect();
+            let members: Vec<usize> = (0..points.len()).filter(|&i| ranks[i] == r).collect();
             for (k, &m) in members.iter().enumerate() {
                 crowd[m] = crowding(&objs, &members)[k];
             }
@@ -148,7 +172,7 @@ pub fn nsga2(
             }
             children.push(child);
         }
-        let child_objs: Vec<Vec<f64>> = children.iter().map(&evaluate).collect();
+        let child_objs: Vec<Vec<f64>> = evaluate_batch(&children);
 
         // Environmental selection over parents + children.
         points.extend(children);
@@ -254,9 +278,9 @@ mod tests {
         let found = nsga2(&space, &curved, 40, 24, 5);
         // Every found member must be on (or tie with) the true front.
         for m in &found {
-            let on_true = true_set.iter().any(|t| {
-                t.iter().zip(&m.objectives).all(|(a, b)| (a - b).abs() < 1e-12)
-            });
+            let on_true = true_set
+                .iter()
+                .any(|t| t.iter().zip(&m.objectives).all(|(a, b)| (a - b).abs() < 1e-12));
             assert!(on_true, "found member {:?} is not truly optimal", m.objectives);
         }
         assert!(found.len() >= true_set.len() / 2, "should recover most of the front");

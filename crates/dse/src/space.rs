@@ -156,11 +156,7 @@ impl DesignSpace {
             return out;
         }
         let up = rng.gen_bool(0.5);
-        out[dim] = if up {
-            (out[dim] + 1).min(max)
-        } else {
-            out[dim].saturating_sub(1)
-        };
+        out[dim] = if up { (out[dim] + 1).min(max) } else { out[dim].saturating_sub(1) };
         out
     }
 

@@ -12,15 +12,8 @@ pub struct RegressionTree {
 
 #[derive(Debug, Clone)]
 enum TreeNode {
-    Leaf {
-        prediction: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-    },
+    Leaf { prediction: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 impl RegressionTree {

@@ -234,7 +234,10 @@ impl Lqr {
             return Err(LinalgError::DimensionMismatch { expected: (n, n), found: a.shape() });
         }
         if b.rows() != n {
-            return Err(LinalgError::DimensionMismatch { expected: (n, b.cols()), found: b.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, b.cols()),
+                found: b.shape(),
+            });
         }
         let m = b.cols();
         if q.shape() != (n, n) {

@@ -139,10 +139,7 @@ impl Mlp {
         assert!(layer_sizes.len() >= 2, "need at least input and output widths");
         assert!(layer_sizes.iter().all(|&s| s > 0), "layer widths must be nonzero");
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        let layers = layer_sizes
-            .windows(2)
-            .map(|w| Layer::random(w[0], w[1], &mut rng))
-            .collect();
+        let layers = layer_sizes.windows(2).map(|w| Layer::random(w[0], w[1], &mut rng)).collect();
         Self { layers }
     }
 
@@ -222,10 +219,7 @@ impl Mlp {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .iter()
-            .filter(|(x, y)| self.predict(x, precision) == **y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| self.predict(x, precision) == **y).count();
         correct as f64 / data.len() as f64
     }
 
@@ -458,13 +452,11 @@ mod tests {
     fn quantized_training_reaches_target_at_high_precision() {
         let data = Dataset::blobs(100, 3, 2, 21);
         let mut f32_model = Mlp::new(&[2, 16, 3], 4);
-        let f32_epochs =
-            f32_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::F32, 100);
+        let f32_epochs = f32_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::F32, 100);
         assert!(f32_epochs.is_some(), "f32 training should reach 90%");
 
         let mut int8_model = Mlp::new(&[2, 16, 3], 4);
-        let int8_epochs =
-            int8_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::Int8, 150);
+        let int8_epochs = int8_model.epochs_to_accuracy(&data, 0.9, 0.05, Precision::Int8, 150);
         assert!(int8_epochs.is_some(), "int8 QAT should still reach 90%");
     }
 

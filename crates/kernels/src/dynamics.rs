@@ -154,8 +154,7 @@ impl SerialChain {
             let fyi = link.mass * com_ay[i] + fy;
             // Torque about the joint: inertia + COM force moment + child
             // wrench moment.
-            let tau_i = link.inertia * alpha[i]
-                + rcx * (link.mass * com_ay[i])
+            let tau_i = link.inertia * alpha[i] + rcx * (link.mass * com_ay[i])
                 - rcy * (link.mass * com_ax[i])
                 + torque_carry
                 + rlx * fy

@@ -363,10 +363,7 @@ impl Pose2 {
     #[inline]
     #[must_use]
     pub fn compose(self, rhs: Self) -> Self {
-        Self::new(
-            self.position + rhs.position.rotated(self.heading),
-            self.heading + rhs.heading,
-        )
+        Self::new(self.position + rhs.position.rotated(self.heading), self.heading + rhs.heading)
     }
 
     /// The inverse pose, such that `p.compose(p.inverse())` is identity.

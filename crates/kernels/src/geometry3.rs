@@ -140,8 +140,7 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// The identity matrix.
-    pub const IDENTITY: Self =
-        Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Self = Self { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Matrix-vector product.
     #[must_use]

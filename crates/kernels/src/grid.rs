@@ -104,10 +104,7 @@ impl OccupancyGrid {
     #[inline]
     #[must_use]
     pub fn cell_center(&self, cx: usize, cy: usize) -> Vec2 {
-        Vec2::new(
-            (cx as f64 + 0.5) * self.resolution,
-            (cy as f64 + 0.5) * self.resolution,
-        )
+        Vec2::new((cx as f64 + 0.5) * self.resolution, (cy as f64 + 0.5) * self.resolution)
     }
 
     /// The occupancy probability of the cell containing `p`, or `0.5`
@@ -184,7 +181,13 @@ impl OccupancyGrid {
     /// Casts a ray against occupied cells (probability > `threshold`),
     /// returning the world point of the first hit, if any, within `max_range`.
     #[must_use]
-    pub fn raycast(&self, origin: Vec2, direction: Vec2, max_range: f64, threshold: f64) -> Option<Vec2> {
+    pub fn raycast(
+        &self,
+        origin: Vec2,
+        direction: Vec2,
+        max_range: f64,
+        threshold: f64,
+    ) -> Option<Vec2> {
         let dir = direction.normalized();
         if dir == Vec2::ZERO {
             return None;

@@ -201,7 +201,10 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] if shapes differ.
     pub fn add(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::DimensionMismatch { expected: self.shape(), found: rhs.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.shape(),
+                found: rhs.shape(),
+            });
         }
         let mut out = self.clone();
         for (o, r) in out.data.iter_mut().zip(&rhs.data) {
@@ -217,7 +220,10 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] if shapes differ.
     pub fn sub(&self, rhs: &Self) -> Result<Self, LinalgError> {
         if self.shape() != rhs.shape() {
-            return Err(LinalgError::DimensionMismatch { expected: self.shape(), found: rhs.shape() });
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.shape(),
+                found: rhs.shape(),
+            });
         }
         let mut out = self.clone();
         for (o, r) in out.data.iter_mut().zip(&rhs.data) {

@@ -1,9 +1,9 @@
 //! Grid-based A* search over an occupancy grid — the classical baseline
 //! planner that sampling-based methods are compared against.
 
+use super::path::Path;
 use crate::geometry::Vec2;
 use crate::grid::OccupancyGrid;
-use super::path::Path;
 use std::collections::BinaryHeap;
 
 /// Configuration for [`astar`].
@@ -82,8 +82,7 @@ pub fn astar(grid: &OccupancyGrid, start: Vec2, goal: Vec2, config: AstarConfig)
     g_score[index(start_cell)] = 0.0;
     open.push(OpenEntry { f: heuristic(start_cell), cell: start_cell });
 
-    let straight: &[(isize, isize, f64)] =
-        &[(1, 0, 1.0), (-1, 0, 1.0), (0, 1, 1.0), (0, -1, 1.0)];
+    let straight: &[(isize, isize, f64)] = &[(1, 0, 1.0), (-1, 0, 1.0), (0, 1, 1.0), (0, -1, 1.0)];
     let diagonal: &[(isize, isize, f64)] = &[
         (1, 1, core::f64::consts::SQRT_2),
         (1, -1, core::f64::consts::SQRT_2),
@@ -108,9 +107,8 @@ pub fn astar(grid: &OccupancyGrid, start: Vec2, goal: Vec2, config: AstarConfig)
             return Some(Path::new(pts));
         }
         let current_g = g_score[index(cell)];
-        let neighbors = straight
-            .iter()
-            .chain(if config.allow_diagonal { diagonal.iter() } else { [].iter() });
+        let neighbors =
+            straight.iter().chain(if config.allow_diagonal { diagonal.iter() } else { [].iter() });
         for &(dx, dy, step) in neighbors {
             let nx = cell.0 as isize + dx;
             let ny = cell.1 as isize + dy;

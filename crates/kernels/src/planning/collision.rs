@@ -15,6 +15,7 @@
 //! the subject of experiment E6.
 
 use crate::geometry::Vec2;
+use m7_par::ParConfig;
 use serde::{Deserialize, Serialize};
 
 /// A collision primitive that can be queried against points and segments.
@@ -80,11 +81,7 @@ impl Obstacle for Rect {
 fn segment_circle_intersects(a: Vec2, b: Vec2, center: Vec2, radius: f64) -> bool {
     let ab = b - a;
     let len2 = ab.norm_squared();
-    let t = if len2 == 0.0 {
-        0.0
-    } else {
-        ((center - a).dot(ab) / len2).clamp(0.0, 1.0)
-    };
+    let t = if len2 == 0.0 { 0.0 } else { ((center - a).dot(ab) / len2).clamp(0.0, 1.0) };
     let closest = a + ab * t;
     closest.distance_squared(center) <= radius * radius
 }
@@ -356,40 +353,75 @@ impl BatchChecker {
         self.len() == 0
     }
 
+    /// Scalar point predicate over the flat SoA arrays: no virtual
+    /// dispatch, no per-obstacle pointer chase, square-distance arithmetic
+    /// only, and an early exit once any obstacle claims the point.
+    fn point_free_one(&self, p: Vec2) -> bool {
+        if p.x < 0.0 || p.y < 0.0 || p.x > self.width || p.y > self.height {
+            return false;
+        }
+        for ((cx, cy), r2) in self.circles.cx.iter().zip(&self.circles.cy).zip(&self.circles.r2) {
+            let dx = p.x - cx;
+            let dy = p.y - cy;
+            if dx * dx + dy * dy <= *r2 {
+                return false;
+            }
+        }
+        for i in 0..self.rects.min_x.len() {
+            if p.x >= self.rects.min_x[i]
+                && p.x <= self.rects.max_x[i]
+                && p.y >= self.rects.min_y[i]
+                && p.y <= self.rects.max_y[i]
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scalar segment predicate: edge geometry hoisted into registers once,
+    /// straight-line closest-point test per circle with early exit.
+    fn segment_free_one(&self, a: Vec2, b: Vec2) -> bool {
+        let inside = |p: Vec2| p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height;
+        if !inside(a) || !inside(b) {
+            return false;
+        }
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let len2 = dx * dx + dy * dy;
+        let inv_len2 = if len2 == 0.0 { 0.0 } else { 1.0 / len2 };
+        for c in 0..self.circles.cx.len() {
+            // Closest point on the segment to the circle center,
+            // entirely in registers.
+            let acx = self.circles.cx[c] - a.x;
+            let acy = self.circles.cy[c] - a.y;
+            let t = ((acx * dx + acy * dy) * inv_len2).clamp(0.0, 1.0);
+            let px = acx - t * dx;
+            let py = acy - t * dy;
+            if px * px + py * py <= self.circles.r2[c] {
+                return false;
+            }
+        }
+        for r in 0..self.rects.min_x.len() {
+            if segment_rect_intersects(
+                a,
+                b,
+                Vec2::new(self.rects.min_x[r], self.rects.min_y[r]),
+                Vec2::new(self.rects.max_x[r], self.rects.max_y[r]),
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Batched point query: one boolean per input point.
     ///
-    /// Edge-major iteration over the flat SoA arrays: no virtual dispatch,
-    /// no per-obstacle pointer chase, square-distance arithmetic only, and
-    /// an early exit per point once any obstacle claims it.
+    /// Edge-major iteration over the flat SoA arrays; see
+    /// [`BatchChecker::par_points_free`] for the multi-threaded variant.
     #[must_use]
     pub fn points_free(&self, points: &[Vec2]) -> Vec<bool> {
-        points
-            .iter()
-            .map(|p| {
-                if p.x < 0.0 || p.y < 0.0 || p.x > self.width || p.y > self.height {
-                    return false;
-                }
-                for ((cx, cy), r2) in
-                    self.circles.cx.iter().zip(&self.circles.cy).zip(&self.circles.r2)
-                {
-                    let dx = p.x - cx;
-                    let dy = p.y - cy;
-                    if dx * dx + dy * dy <= *r2 {
-                        return false;
-                    }
-                }
-                for i in 0..self.rects.min_x.len() {
-                    if p.x >= self.rects.min_x[i]
-                        && p.x <= self.rects.max_x[i]
-                        && p.y >= self.rects.min_y[i]
-                        && p.y <= self.rects.max_y[i]
-                    {
-                        return false;
-                    }
-                }
-                true
-            })
-            .collect()
+        points.iter().map(|&p| self.point_free_one(p)).collect()
     }
 
     /// Batched segment query: one boolean per input edge.
@@ -401,43 +433,27 @@ impl BatchChecker {
     /// early exit.
     #[must_use]
     pub fn segments_free(&self, edges: &[(Vec2, Vec2)]) -> Vec<bool> {
-        edges
-            .iter()
-            .map(|&(a, b)| {
-                let inside =
-                    |p: Vec2| p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height;
-                if !inside(a) || !inside(b) {
-                    return false;
-                }
-                let dx = b.x - a.x;
-                let dy = b.y - a.y;
-                let len2 = dx * dx + dy * dy;
-                let inv_len2 = if len2 == 0.0 { 0.0 } else { 1.0 / len2 };
-                for c in 0..self.circles.cx.len() {
-                    // Closest point on the segment to the circle center,
-                    // entirely in registers.
-                    let acx = self.circles.cx[c] - a.x;
-                    let acy = self.circles.cy[c] - a.y;
-                    let t = ((acx * dx + acy * dy) * inv_len2).clamp(0.0, 1.0);
-                    let px = acx - t * dx;
-                    let py = acy - t * dy;
-                    if px * px + py * py <= self.circles.r2[c] {
-                        return false;
-                    }
-                }
-                for r in 0..self.rects.min_x.len() {
-                    if segment_rect_intersects(
-                        a,
-                        b,
-                        Vec2::new(self.rects.min_x[r], self.rects.min_y[r]),
-                        Vec2::new(self.rects.max_x[r], self.rects.max_y[r]),
-                    ) {
-                        return false;
-                    }
-                }
-                true
-            })
-            .collect()
+        edges.iter().map(|&(a, b)| self.segment_free_one(a, b)).collect()
+    }
+
+    /// Multi-threaded [`BatchChecker::points_free`].
+    ///
+    /// Each point runs the same scalar predicate as the serial batch; the
+    /// output vector is ordered by input index regardless of scheduling, so
+    /// the result is identical to [`BatchChecker::points_free`] at any
+    /// thread count.
+    #[must_use]
+    pub fn par_points_free(&self, points: &[Vec2], par: ParConfig) -> Vec<bool> {
+        par.par_map(points, |&p| self.point_free_one(p))
+    }
+
+    /// Multi-threaded [`BatchChecker::segments_free`].
+    ///
+    /// Identical output to the serial batch at any thread count; only
+    /// wall-clock changes.
+    #[must_use]
+    pub fn par_segments_free(&self, edges: &[(Vec2, Vec2)], par: ParConfig) -> Vec<bool> {
+        par.par_map(edges, |&(a, b)| self.segment_free_one(a, b))
     }
 
     /// Single-segment convenience wrapper over [`BatchChecker::segments_free`].
@@ -512,11 +528,7 @@ mod tests {
             let t = i as f64 / 60.0;
             let a = Vec2::new(20.0 * t, 0.5);
             let b = Vec2::new(20.0 - 20.0 * t, 19.5);
-            assert_eq!(
-                w.segment_free_sampled(a, b, 0.05),
-                w.segment_free(a, b),
-                "edge {i}"
-            );
+            assert_eq!(w.segment_free_sampled(a, b, 0.05), w.segment_free(a, b), "edge {i}");
         }
     }
 
@@ -526,7 +538,7 @@ mod tests {
         // thin obstacle that the exact test catches.
         let mut w = CollisionWorld::new(10.0, 10.0);
         w.add_rect(Vec2::new(4.499, 0.0), Vec2::new(4.501, 10.0)); // 2 mm wall
-        // 1 m sampling from x = 1 lands on integer x only, straddling 4.5.
+                                                                   // 1 m sampling from x = 1 lands on integer x only, straddling 4.5.
         let a = Vec2::new(1.0, 5.0);
         let b = Vec2::new(9.0, 5.0);
         assert!(!w.segment_free(a, b), "exact test catches the wall");
@@ -598,6 +610,29 @@ mod tests {
             let got = batch.points_free(&pts);
             for (i, p) in pts.iter().enumerate() {
                 prop_assert_eq!(got[i], w.point_free(*p));
+            }
+        }
+
+        #[test]
+        fn prop_par_batches_match_serial_at_any_thread_count(
+            seed in 0u64..500,
+            edges in prop::collection::vec(((0.0..20.0f64, 0.0..20.0f64), (0.0..20.0f64, 0.0..20.0f64)), 1..50),
+        ) {
+            let mut w = CollisionWorld::new(20.0, 20.0);
+            w.scatter_circles(8, 0.3, 2.5, seed);
+            w.add_rect(Vec2::new(3.0, 3.0), Vec2::new(4.5, 9.0));
+            let batch = w.to_batch_checker();
+            let edges: Vec<(Vec2, Vec2)> = edges
+                .into_iter()
+                .map(|((ax, ay), (bx, by))| (Vec2::new(ax, ay), Vec2::new(bx, by)))
+                .collect();
+            let pts: Vec<Vec2> = edges.iter().map(|&(a, _)| a).collect();
+            let serial_edges = batch.segments_free(&edges);
+            let serial_pts = batch.points_free(&pts);
+            for threads in [1usize, 2, 5, 8] {
+                let par = ParConfig::with_threads(threads);
+                prop_assert_eq!(&batch.par_segments_free(&edges, par), &serial_edges);
+                prop_assert_eq!(&batch.par_points_free(&pts, par), &serial_pts);
             }
         }
     }

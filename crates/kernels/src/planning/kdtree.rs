@@ -172,8 +172,9 @@ mod tests {
     #[test]
     fn nearest_matches_linear_scan() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
-        let pts: Vec<Vec2> =
-            (0..300).map(|_| Vec2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
+        let pts: Vec<Vec2> = (0..300)
+            .map(|_| Vec2::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
         let mut tree = KdTree::new();
         for (i, p) in pts.iter().enumerate() {
             tree.insert(*p, i);
@@ -197,8 +198,9 @@ mod tests {
     #[test]
     fn radius_query_matches_linear_scan() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
-        let pts: Vec<Vec2> =
-            (0..200).map(|_| Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0))).collect();
+        let pts: Vec<Vec2> = (0..200)
+            .map(|_| Vec2::new(rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)))
+            .collect();
         let mut tree = KdTree::new();
         for (i, p) in pts.iter().enumerate() {
             tree.insert(*p, i);

@@ -133,11 +133,7 @@ mod tests {
     #[test]
     fn shortcut_removes_detour() {
         let world = CollisionWorld::new(10.0, 10.0);
-        let p = Path::new(vec![
-            Vec2::new(1.0, 1.0),
-            Vec2::new(5.0, 9.0),
-            Vec2::new(9.0, 1.0),
-        ]);
+        let p = Path::new(vec![Vec2::new(1.0, 1.0), Vec2::new(5.0, 9.0), Vec2::new(9.0, 1.0)]);
         let s = p.shortcut(&world);
         assert_eq!(s.waypoints().len(), 2);
         assert!(s.length() < p.length());
@@ -147,11 +143,7 @@ mod tests {
     fn shortcut_respects_obstacles() {
         let mut world = CollisionWorld::new(10.0, 10.0);
         world.add_circle(Vec2::new(5.0, 1.0), 1.5);
-        let p = Path::new(vec![
-            Vec2::new(1.0, 1.0),
-            Vec2::new(5.0, 5.0),
-            Vec2::new(9.0, 1.0),
-        ]);
+        let p = Path::new(vec![Vec2::new(1.0, 1.0), Vec2::new(5.0, 5.0), Vec2::new(9.0, 1.0)]);
         let s = p.shortcut(&world);
         assert_eq!(s.waypoints().len(), 3, "direct segment is blocked");
         assert!(s.is_valid(&world));

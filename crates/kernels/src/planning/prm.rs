@@ -10,6 +10,7 @@ use super::collision::CollisionWorld;
 use super::kdtree::KdTree;
 use super::path::Path;
 use crate::geometry::Vec2;
+use m7_par::ParConfig;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
@@ -60,30 +61,52 @@ impl Prm {
     /// checker.
     #[must_use]
     pub fn build(world: &CollisionWorld, config: PrmConfig, seed: u64) -> Self {
-        Self::build_inner(world, config, seed, false)
+        Self::build_inner(world, config, seed, None)
     }
 
     /// Builds an identical roadmap, validating all candidate edges through
     /// the batched structure-of-arrays checker.
     #[must_use]
     pub fn build_batched(world: &CollisionWorld, config: PrmConfig, seed: u64) -> Self {
-        Self::build_inner(world, config, seed, true)
+        Self::build_inner(world, config, seed, Some(ParConfig::serial()))
     }
 
-    fn build_inner(world: &CollisionWorld, config: PrmConfig, seed: u64, batched: bool) -> Self {
+    /// [`Prm::build_batched`] with the batch queries spread over the
+    /// deterministic pool: the roadmap is bit-identical to the serial
+    /// batched build at any thread count (sampling stays on one RNG
+    /// stream; batch results are ordered by input index).
+    #[must_use]
+    pub fn build_batched_par(
+        world: &CollisionWorld,
+        config: PrmConfig,
+        seed: u64,
+        par: ParConfig,
+    ) -> Self {
+        Self::build_inner(world, config, seed, Some(par))
+    }
+
+    fn build_inner(
+        world: &CollisionWorld,
+        config: PrmConfig,
+        seed: u64,
+        batched: Option<ParConfig>,
+    ) -> Self {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         // Sample free configurations.
         let mut vertices = Vec::with_capacity(config.samples);
-        if batched {
+        if let Some(par) = batched {
             // Batch the point checks too: oversample, filter in one pass.
             let batch = world.to_batch_checker();
             while vertices.len() < config.samples {
                 let candidates: Vec<Vec2> = (0..config.samples * 2)
                     .map(|_| {
-                        Vec2::new(rng.gen_range(0.0..world.width()), rng.gen_range(0.0..world.height()))
+                        Vec2::new(
+                            rng.gen_range(0.0..world.width()),
+                            rng.gen_range(0.0..world.height()),
+                        )
                     })
                     .collect();
-                let free = batch.points_free(&candidates);
+                let free = batch.par_points_free(&candidates, par);
                 for (p, ok) in candidates.into_iter().zip(free) {
                     if ok && vertices.len() < config.samples {
                         vertices.push(p);
@@ -92,7 +115,10 @@ impl Prm {
             }
         } else {
             while vertices.len() < config.samples {
-                let p = Vec2::new(rng.gen_range(0.0..world.width()), rng.gen_range(0.0..world.height()));
+                let p = Vec2::new(
+                    rng.gen_range(0.0..world.width()),
+                    rng.gen_range(0.0..world.height()),
+                );
                 if world.point_free(p) {
                     vertices.push(p);
                 }
@@ -125,11 +151,11 @@ impl Prm {
         // batched path checks the same edges exactly in one SoA sweep.
         let mut edges = vec![Vec::new(); vertices.len()];
         let edge_checks = candidates.len();
-        let keep: Vec<bool> = if batched {
+        let keep: Vec<bool> = if let Some(par) = batched {
             let batch = world.to_batch_checker();
             let segs: Vec<(Vec2, Vec2)> =
                 candidates.iter().map(|&(i, j)| (vertices[i], vertices[j])).collect();
-            batch.segments_free(&segs)
+            batch.par_segments_free(&segs, par)
         } else {
             candidates
                 .iter()
@@ -286,6 +312,24 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert!(a.edge_checks() > 0);
         assert!(b.edge_checks() > 0);
+    }
+
+    #[test]
+    fn parallel_batched_build_is_bit_identical() {
+        let mut world = CollisionWorld::new(15.0, 15.0);
+        world.scatter_circles(10, 0.5, 1.5, 4);
+        let serial = Prm::build_batched(&world, PrmConfig::default(), 2);
+        for threads in [1usize, 2, 4, 8] {
+            let par = Prm::build_batched_par(
+                &world,
+                PrmConfig::default(),
+                2,
+                ParConfig::with_threads(threads),
+            );
+            assert_eq!(serial.vertices, par.vertices, "threads = {threads}");
+            assert_eq!(serial.edges, par.edges, "threads = {threads}");
+            assert_eq!(serial.edge_checks(), par.edge_checks());
+        }
     }
 
     #[test]

@@ -109,7 +109,12 @@ impl Rrt {
     /// Plans and reports the number of collision-checked edges, for
     /// workload profiling by `m7-arch`.
     #[must_use]
-    pub fn plan_counted(&self, world: &CollisionWorld, start: Vec2, goal: Vec2) -> (Option<Path>, usize) {
+    pub fn plan_counted(
+        &self,
+        world: &CollisionWorld,
+        start: Vec2,
+        goal: Vec2,
+    ) -> (Option<Path>, usize) {
         plan_counted_impl(&self.config, self.seed, world, start, goal, false)
     }
 }
@@ -263,7 +268,11 @@ mod tests {
         let mut world = CollisionWorld::new(15.0, 15.0);
         world.scatter_circles(10, 0.5, 1.5, 7);
         let plan = |seed| {
-            Rrt::new(RrtConfig::default(), seed).plan(&world, Vec2::new(0.5, 0.5), Vec2::new(14.0, 14.0))
+            Rrt::new(RrtConfig::default(), seed).plan(
+                &world,
+                Vec2::new(0.5, 0.5),
+                Vec2::new(14.0, 14.0),
+            )
         };
         let a = plan(42);
         let b = plan(42);
@@ -273,8 +282,11 @@ mod tests {
     #[test]
     fn counted_checks_are_positive() {
         let world = CollisionWorld::new(10.0, 10.0);
-        let (p, checks) =
-            Rrt::new(RrtConfig::default(), 2).plan_counted(&world, Vec2::new(1.0, 1.0), Vec2::new(9.0, 9.0));
+        let (p, checks) = Rrt::new(RrtConfig::default(), 2).plan_counted(
+            &world,
+            Vec2::new(1.0, 1.0),
+            Vec2::new(9.0, 9.0),
+        );
         assert!(p.is_some());
         assert!(checks > 0);
     }

@@ -50,7 +50,12 @@ impl RrtStar {
 
     /// Plans and reports the number of collision-checked edges.
     #[must_use]
-    pub fn plan_counted(&self, world: &CollisionWorld, start: Vec2, goal: Vec2) -> (Option<Path>, usize) {
+    pub fn plan_counted(
+        &self,
+        world: &CollisionWorld,
+        start: Vec2,
+        goal: Vec2,
+    ) -> (Option<Path>, usize) {
         plan_counted_impl(&self.config, self.seed, world, start, goal, true)
     }
 }
@@ -110,11 +115,12 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let world = cluttered_world(8);
         let plan = || {
-            RrtStar::new(RrtConfig::default(), 21).plan(&world, Vec2::new(0.5, 0.5), Vec2::new(19.5, 19.5))
+            RrtStar::new(RrtConfig::default(), 21).plan(
+                &world,
+                Vec2::new(0.5, 0.5),
+                Vec2::new(19.5, 19.5),
+            )
         };
-        assert_eq!(
-            plan().map(|p| p.waypoints().to_vec()),
-            plan().map(|p| p.waypoints().to_vec())
-        );
+        assert_eq!(plan().map(|p| p.waypoints().to_vec()), plan().map(|p| p.waypoints().to_vec()));
     }
 }

@@ -137,8 +137,8 @@ impl DenseScanSlam {
                     let mut score = 0.0;
                     for (bearing, range) in scan.bearings.iter().zip(&scan.ranges) {
                         let angle = hypothesis.heading + bearing;
-                        let endpoint =
-                            hypothesis.position + Vec2::new(range * angle.cos(), range * angle.sin());
+                        let endpoint = hypothesis.position
+                            + Vec2::new(range * angle.cos(), range * angle.sin());
                         if let Some((cx, cy)) = self.grid.cell_of(endpoint) {
                             score += self.grid.log_odds_at(cx, cy);
                         } else {
@@ -173,11 +173,18 @@ impl DenseScanSlam {
 ///
 /// A tiny utility used by tests and the E2 workload generator.
 #[must_use]
-pub fn synthetic_room_scan(pose: Pose2, center: Vec2, half_w: f64, half_h: f64, beams: usize) -> Scan {
+pub fn synthetic_room_scan(
+    pose: Pose2,
+    center: Vec2,
+    half_w: f64,
+    half_h: f64,
+    beams: usize,
+) -> Scan {
     let mut bearings = Vec::with_capacity(beams);
     let mut ranges = Vec::with_capacity(beams);
     for i in 0..beams {
-        let bearing = -core::f64::consts::PI + 2.0 * core::f64::consts::PI * i as f64 / beams as f64;
+        let bearing =
+            -core::f64::consts::PI + 2.0 * core::f64::consts::PI * i as f64 / beams as f64;
         let angle = pose.heading + bearing;
         let dir = Vec2::new(angle.cos(), angle.sin());
         // Ray-cast against the four walls.
@@ -227,12 +234,7 @@ mod tests {
     #[test]
     fn tracks_motion_in_a_room() {
         let room_center = Vec2::new(15.0, 15.0);
-        let mut slam = DenseScanSlam::new(
-            DenseSlamConfig::default(),
-            30.0,
-            30.0,
-            0.25,
-        );
+        let mut slam = DenseScanSlam::new(DenseSlamConfig::default(), 30.0, 30.0, 0.25);
         // Teleport the matcher's start to the room center by integrating the
         // first scan from there.
         let mut truth = Pose2::new(room_center, 0.0);
@@ -271,13 +273,8 @@ mod tests {
 
     #[test]
     fn synthetic_scan_ranges_are_positive_and_bounded() {
-        let scan = synthetic_room_scan(
-            Pose2::new(Vec2::new(0.0, 0.0), 0.3),
-            Vec2::ZERO,
-            5.0,
-            4.0,
-            180,
-        );
+        let scan =
+            synthetic_room_scan(Pose2::new(Vec2::new(0.0, 0.0), 0.3), Vec2::ZERO, 5.0, 4.0, 180);
         assert!(!scan.ranges.is_empty());
         for r in &scan.ranges {
             assert!(*r > 0.0 && *r <= (5.0f64.powi(2) + 4.0f64.powi(2)).sqrt() + 1e-9);

@@ -141,7 +141,8 @@ impl EkfSlam {
         q[(2, 2)] = qr;
 
         let gp = g.mul(&self.covariance).expect("shapes match");
-        self.covariance = gp.mul(&g.transpose()).expect("shapes match").add(&q).expect("shapes match");
+        self.covariance =
+            gp.mul(&g.transpose()).expect("shapes match").add(&q).expect("shapes match");
         self.flops += 4.0 * (n * n * n) as f64 + (n * n) as f64;
     }
 
@@ -231,10 +232,7 @@ impl EkfSlam {
         };
         let gain = ph_t.mul(&s_inv).expect("shapes match");
 
-        let innovation = [
-            obs.range - z_hat_range,
-            normalize_angle(obs.bearing - z_hat_bearing),
-        ];
+        let innovation = [obs.range - z_hat_range, normalize_angle(obs.bearing - z_hat_bearing)];
         for i in 0..n {
             self.state[i] += gain[(i, 0)] * innovation[0] + gain[(i, 1)] * innovation[1];
         }

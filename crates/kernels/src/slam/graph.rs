@@ -41,7 +41,9 @@ impl core::fmt::Display for PoseGraphError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::InvalidNode { index } => write!(f, "constraint references missing node {index}"),
-            Self::Singular => write!(f, "normal equations are singular; graph is under-constrained"),
+            Self::Singular => {
+                write!(f, "normal equations are singular; graph is under-constrained")
+            }
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::geometry::{Pose2, Vec2};
 use crate::grid::OccupancyGrid;
 use crate::slam::Scan;
+use m7_par::ParConfig;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
@@ -90,7 +91,8 @@ impl ParticleFilter {
                 let dx = rng.gen_range(-spread..=spread);
                 let dy = rng.gen_range(-spread..=spread);
                 let dth = rng.gen_range(-0.2..=0.2);
-                let mut pose = Pose2::new(initial.position + Vec2::new(dx, dy), initial.heading + dth);
+                let mut pose =
+                    Pose2::new(initial.position + Vec2::new(dx, dy), initial.heading + dth);
                 // Keep initial hypotheses inside the map.
                 if map.cell_of(pose.position).is_none() {
                     pose = initial;
@@ -160,19 +162,28 @@ impl ParticleFilter {
     /// given the map, then resamples systematically when the effective
     /// sample size drops below half the particle count.
     pub fn update(&mut self, map: &OccupancyGrid, scan: &Scan) {
+        self.par_update(map, scan, ParConfig::serial());
+    }
+
+    /// Multi-threaded [`ParticleFilter::update`].
+    ///
+    /// Per-particle log-likelihoods are pure functions of the (fixed)
+    /// particle set, map, and scan, so they run through the deterministic
+    /// pool; weight application, normalization, and resampling stay serial
+    /// in particle order. The filter state after this call is bit-identical
+    /// to the serial update at any thread count.
+    pub fn par_update(&mut self, map: &OccupancyGrid, scan: &Scan, par: ParConfig) {
         let step = (scan.bearings.len() / self.config.beams_used).max(1);
         let inv_two_var = 1.0 / (2.0 * self.config.range_noise * self.config.range_noise);
         let max_range = scan.ranges.iter().cloned().fold(0.0f64, f64::max) + 1.0;
+        let beams_used = self.config.beams_used;
 
-        let mut total = 0.0;
-        for p in &mut self.particles {
+        // Phase 1 (parallel, read-only): one log-likelihood per particle,
+        // written to its input-index slot.
+        let log_likelihoods: Vec<f64> = par.par_map(&self.particles, |p| {
             let mut log_likelihood = 0.0;
-            for (bearing, range) in scan
-                .bearings
-                .iter()
-                .zip(&scan.ranges)
-                .step_by(step)
-                .take(self.config.beams_used)
+            for (bearing, range) in
+                scan.bearings.iter().zip(&scan.ranges).step_by(step).take(beams_used)
             {
                 let angle = p.pose.heading + bearing;
                 let dir = Vec2::new(angle.cos(), angle.sin());
@@ -181,8 +192,17 @@ impl ParticleFilter {
                     .map_or(max_range, |hit| hit.distance(p.pose.position));
                 let err = expected - range;
                 log_likelihood -= err * err * inv_two_var;
-                self.weight_evals += 1;
             }
+            log_likelihood
+        });
+        let beams_per_particle =
+            scan.bearings.iter().zip(&scan.ranges).step_by(step).take(beams_used).count();
+        self.weight_evals += (self.particles.len() * beams_per_particle) as u64;
+
+        // Phase 2 (serial, particle order): apply weights and accumulate
+        // the normalizer in the same order as the serial loop.
+        let mut total = 0.0;
+        for (p, log_likelihood) in self.particles.iter_mut().zip(&log_likelihoods) {
             p.weight *= log_likelihood.exp().max(1e-300);
             total += p.weight;
         }
@@ -254,11 +274,8 @@ mod tests {
         let map = OccupancyGrid::new(20.0, 20.0, 0.5);
         let start = Pose2::new(Vec2::new(10.0, 10.0), 0.0);
         let pf = ParticleFilter::new(ParticleFilterConfig::default(), &map, start, 2.0, 1);
-        let distinct = pf
-            .particles()
-            .windows(2)
-            .filter(|w| w[0].pose.position != w[1].pose.position)
-            .count();
+        let distinct =
+            pf.particles().windows(2).filter(|w| w[0].pose.position != w[1].pose.position).count();
         assert!(distinct > 400, "particles should be spread, {distinct} distinct");
         let est = pf.estimate();
         assert!(est.position.distance(start.position) < 0.5, "mean near the prior");
@@ -309,12 +326,38 @@ mod tests {
     }
 
     #[test]
+    fn par_update_is_bit_identical_to_serial() {
+        let (map, center, half_w, half_h) = mapped_room();
+        let truth = Pose2::new(center, 0.0);
+        let run = |par: Option<ParConfig>| {
+            let config = ParticleFilterConfig { particles: 200, ..ParticleFilterConfig::default() };
+            let mut pf = ParticleFilter::new(config, &map, truth, 1.5, 11);
+            let mut pose = truth;
+            let step = Pose2::new(Vec2::new(0.25, 0.0), 0.04);
+            for _ in 0..4 {
+                pose = pose.compose(step);
+                pf.predict(step);
+                let scan = synthetic_room_scan(pose, center, half_w, half_h, 90);
+                match par {
+                    Some(p) => pf.par_update(&map, &scan, p),
+                    None => pf.update(&map, &scan),
+                }
+            }
+            (pf.particles().to_vec(), pf.weight_evals())
+        };
+        let serial = run(None);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = run(Some(ParConfig::with_threads(threads)));
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn deterministic_for_fixed_seed() {
         let (map, center, half_w, half_h) = mapped_room();
         let truth = Pose2::new(center, 0.0);
         let run = || {
-            let mut pf =
-                ParticleFilter::new(ParticleFilterConfig::default(), &map, truth, 1.0, 11);
+            let mut pf = ParticleFilter::new(ParticleFilterConfig::default(), &map, truth, 1.0, 11);
             let scan = synthetic_room_scan(truth, center, half_w, half_h, 90);
             pf.predict(Pose2::new(Vec2::new(0.2, 0.0), 0.0));
             pf.update(&map, &scan);

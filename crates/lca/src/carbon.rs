@@ -109,7 +109,12 @@ impl CarbonFootprint {
 ///
 /// Panics if `pue < 1.0`.
 #[must_use]
-pub fn operational_carbon(power: Watts, duration: Seconds, grid: GridIntensity, pue: f64) -> KilogramsCo2e {
+pub fn operational_carbon(
+    power: Watts,
+    duration: Seconds,
+    grid: GridIntensity,
+    pue: f64,
+) -> KilogramsCo2e {
     assert!(pue >= 1.0, "PUE cannot be below 1.0");
     let energy: Joules = power * duration * pue;
     grid.value().emissions_for(energy).to_kilograms()

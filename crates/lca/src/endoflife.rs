@@ -99,10 +99,8 @@ mod tests {
     fn landfill_is_worst() {
         let d = die();
         let landfill = amortized_embodied(&d, 4.0, EndOfLife::Landfill);
-        let recycle =
-            amortized_embodied(&d, 4.0, EndOfLife::Recycle { recovery_fraction: 0.25 });
-        let second =
-            amortized_embodied(&d, 4.0, EndOfLife::SecondLife { extra_years: 4.0 });
+        let recycle = amortized_embodied(&d, 4.0, EndOfLife::Recycle { recovery_fraction: 0.25 });
+        let second = amortized_embodied(&d, 4.0, EndOfLife::SecondLife { extra_years: 4.0 });
         assert!(recycle < landfill);
         assert!(second < landfill);
     }

@@ -41,10 +41,7 @@ impl FleetModel {
     /// Panics if `duty_hours_per_day` is outside `[0, 24]`.
     #[must_use]
     pub fn new(vehicles: u64, compute_power: Watts, duty_hours_per_day: f64) -> Self {
-        assert!(
-            (0.0..=24.0).contains(&duty_hours_per_day),
-            "duty hours must be within a day"
-        );
+        assert!((0.0..=24.0).contains(&duty_hours_per_day), "duty hours must be within a day");
         Self { vehicles, compute_power, duty_hours_per_day, grid: GridIntensity::WorldAverage }
     }
 
@@ -82,7 +79,8 @@ impl FleetModel {
     /// Annual fleet-wide compute emissions.
     #[must_use]
     pub fn annual_emissions(&self) -> KilogramsCo2e {
-        let per_vehicle = operational_carbon(self.compute_power, self.annual_duty(), self.grid, 1.0);
+        let per_vehicle =
+            operational_carbon(self.compute_power, self.annual_duty(), self.grid, 1.0);
         per_vehicle * self.vehicles as f64
     }
 

@@ -75,10 +75,7 @@ impl TrainingJob {
     /// Panics if the count is non-positive or non-finite.
     #[must_use]
     pub fn new(total_ops: Ops) -> Self {
-        assert!(
-            total_ops.value() > 0.0 && total_ops.is_finite(),
-            "op count must be positive"
-        );
+        assert!(total_ops.value() > 0.0 && total_ops.is_finite(), "op count must be positive");
         Self { total_ops }
     }
 

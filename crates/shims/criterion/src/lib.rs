@@ -1,0 +1,350 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this repository's benches
+//! use — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — over a simple wall-clock sampler.
+//!
+//! Method: each benchmark warms up for ~100 ms, picks an
+//! iterations-per-sample count targeting ~20 ms per sample, collects
+//! `sample_size` samples, and reports min/median/mean. No statistical
+//! regression analysis, no HTML reports; results print to stdout as
+//! `name                time: [min median mean]`.
+//!
+//! A single positional CLI filter (as passed by `cargo bench -- <filter>`)
+//! restricts which benchmarks run, substring-matched like upstream.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measured throughput annotation (printed alongside timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple variant (upstream parity).
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Passed to the closure given to `iter`; runs and times the payload.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly and recording samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count giving
+        // roughly 20 ms per sample (at least 1).
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < Duration::from_millis(100) {
+            black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calibration_start.elapsed() / calibration_iters.max(1) as u32;
+        self.iters_per_sample =
+            (Duration::from_millis(20).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn human(duration: Duration) -> String {
+    let nanos = duration.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    if let Some(needle) = filter {
+        if !name.contains(needle) {
+            return;
+        }
+    }
+    let mut bencher =
+        Bencher { iters_per_sample: 1, samples: Vec::new(), sample_target: sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let mut line = format!(
+        "{name:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        human(min),
+        human(median),
+        human(mean),
+        sorted.len(),
+        bencher.iters_per_sample,
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| count as f64 / median.as_secs_f64();
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                line.push_str(&format!("  thrpt: {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` forwards everything after `--`;
+        // ignore flag-like arguments (e.g. --bench) like upstream.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for subsequent benchmarks.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Configuration hook kept for API parity (ignored).
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name, self.filter.as_deref(), self.sample_size, None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            filter: self.filter.clone(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Final-config hook kept for API parity.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: Option<String>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _marker: core::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Configuration hook kept for API parity (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Times one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.name),
+            self.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion { filter: None, sample_size: 3 };
+        c.bench_function("fib_10", |b| b.iter(|| black_box(fib(black_box(10)))));
+    }
+
+    #[test]
+    fn groups_and_inputs_run() {
+        let mut c = Criterion { filter: None, sample_size: 3 };
+        let mut group = c.benchmark_group("fib");
+        group.sample_size(2).throughput(Throughput::Elements(1));
+        for n in [5u64, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| black_box(fib(n)));
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { filter: Some("zzz_never".into()), sample_size: 2 };
+        let mut ran = false;
+        c.bench_function("fib_10", |b| {
+            ran = true;
+            b.iter(|| black_box(fib(5)));
+        });
+        assert!(!ran, "filtered benchmark must not execute");
+    }
+}

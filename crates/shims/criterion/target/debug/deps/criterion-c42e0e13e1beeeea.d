@@ -1,0 +1,5 @@
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-c42e0e13e1beeeea.d: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-c42e0e13e1beeeea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/criterion/target/debug/deps/criterion-eb2d3c6fabeda97e.d: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/libcriterion-eb2d3c6fabeda97e.rlib: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/debug/deps/libcriterion-eb2d3c6fabeda97e.rmeta: src/lib.rs
+
+src/lib.rs:

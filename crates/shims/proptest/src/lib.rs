@@ -1,0 +1,331 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this repository uses:
+//! range strategies over integers and floats, tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], `bool::ANY`, and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs via the
+//!   assertion message instead of minimizing them.
+//! - **Deterministic seeding.** Each property derives its ChaCha8 seed
+//!   from the property function's name, so failures reproduce exactly
+//!   across runs and machines.
+//! - **256 cases per property** (the upstream default), overridable via
+//!   the `PROPTEST_CASES` environment variable.
+
+use rand::Rng;
+pub use rand::SeedableRng;
+pub use rand_chacha::ChaCha8Rng;
+
+/// Error type carried by `prop_assert*` failures.
+pub type TestCaseError = String;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{ChaCha8Rng, Strategy};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{ChaCha8Rng, Strategy};
+    use rand::Rng;
+
+    /// A fair coin flip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true`/`false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut ChaCha8Rng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Number of cases per property: `PROPTEST_CASES` env var or 256.
+#[must_use]
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// Derives a per-property RNG seed from the property name (FNV-1a).
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The things a test body needs in scope.
+pub mod prelude {
+    pub use crate::{
+        collection as prop_collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest,
+        Just, Strategy, TestCaseError,
+    };
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests.
+///
+/// Mirrors the upstream macro's common form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, (a, b) in (0..10usize, 0..10usize)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let mut rng = <$crate::ChaCha8Rng as $crate::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(stringify!($name)),
+                );
+                for case in 0..$crate::cases() {
+                    let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = ($strategy).generate(&mut rng);)+
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            $crate::cases(),
+                            message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0.0..5.0f64, 1u64..9), v in prop::collection::vec(0..3usize, 1..10)) {
+            prop_assert!((0.0..5.0).contains(&a));
+            prop_assert!((1..9).contains(&b));
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn map_and_bool(x in (0..10usize).prop_map(|i| i * 2), flip in prop::bool::ANY) {
+            prop_assert!(x % 2 == 0 && x < 20);
+            prop_assert_eq!(flip || !flip, true);
+        }
+    }
+
+    #[test]
+    fn failures_report_message() {
+        let result = std::panic::catch_unwind(|| {
+            crate::proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0..10usize) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always_fails"), "message: {msg}");
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-9bd9254b16233059.d: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-9bd9254b16233059: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/proptest/target/debug/deps/proptest-a5942d72130d3442.d: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/libproptest-a5942d72130d3442.rlib: src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/libproptest-a5942d72130d3442.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/proptest/target/debug/deps/rand_chacha-70af2544e457186a.d: /root/repo/crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/librand_chacha-70af2544e457186a.rlib: /root/repo/crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/crates/shims/proptest/target/debug/deps/librand_chacha-70af2544e457186a.rmeta: /root/repo/crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/src/lib.rs:

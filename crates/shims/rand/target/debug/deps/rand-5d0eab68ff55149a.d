@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand/target/debug/deps/rand-5d0eab68ff55149a.d: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/librand-5d0eab68ff55149a.rlib: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/librand-5d0eab68ff55149a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/shims/rand/target/debug/deps/rand-731bd286f094d1f8.d: src/lib.rs
+
+/root/repo/crates/shims/rand/target/debug/deps/rand-731bd286f094d1f8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand_chacha/target/debug/deps/rand-25e0913f51bcf973.d: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/target/debug/deps/librand-25e0913f51bcf973.rlib: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/target/debug/deps/librand-25e0913f51bcf973.rmeta: /root/repo/crates/shims/rand/src/lib.rs
+
+/root/repo/crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/shims/rand_chacha/target/debug/deps/rand_chacha-5c5888a9bedae8e5.d: src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/target/debug/deps/rand_chacha-5c5888a9bedae8e5: src/lib.rs
+
+src/lib.rs:

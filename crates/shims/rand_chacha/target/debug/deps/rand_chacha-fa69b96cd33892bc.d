@@ -1,0 +1,7 @@
+/root/repo/crates/shims/rand_chacha/target/debug/deps/rand_chacha-fa69b96cd33892bc.d: src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/target/debug/deps/librand_chacha-fa69b96cd33892bc.rlib: src/lib.rs
+
+/root/repo/crates/shims/rand_chacha/target/debug/deps/librand_chacha-fa69b96cd33892bc.rmeta: src/lib.rs
+
+src/lib.rs:

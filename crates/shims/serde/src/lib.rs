@@ -1,0 +1,45 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the minimal subset it uses (see `crates/shims/README.md`).
+//! The repository annotates result/config types with
+//! `#[derive(Serialize, Deserialize)]` as forward-looking metadata; no
+//! code serializes through the traits yet, so they are marker traits
+//! here. Swapping the real `serde` back in requires only deleting the
+//! `[patch.crates-io]` entry at the workspace root.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+///
+/// The real trait carries a deserializer lifetime; the marker does not
+/// need one, and the derive emits an impl without it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// Blanket coverage for std types that the real serde implements, so
+// manual `T: Serialize` bounds (if any appear later) stay satisfiable.
+macro_rules! mark {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+mark!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+mark!(f32, f64, bool, char, String);
+
+impl<T> Serialize for Vec<T> {}
+impl<T> Deserialize for Vec<T> {}
+impl<T> Serialize for Option<T> {}
+impl<T> Deserialize for Option<T> {}
+impl<T, U> Serialize for (T, U) {}
+impl<T, U> Deserialize for (T, U) {}
+impl<T, U, V> Serialize for (T, U, V) {}
+impl<T, U, V> Deserialize for (T, U, V) {}
+impl<T, const N: usize> Serialize for [T; N] {}
+impl<T, const N: usize> Deserialize for [T; N] {}
+impl Serialize for &str {}

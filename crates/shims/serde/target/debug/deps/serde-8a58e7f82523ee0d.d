@@ -1,0 +1,7 @@
+/root/repo/crates/shims/serde/target/debug/deps/serde-8a58e7f82523ee0d.d: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/libserde-8a58e7f82523ee0d.rlib: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/libserde-8a58e7f82523ee0d.rmeta: src/lib.rs
+
+src/lib.rs:

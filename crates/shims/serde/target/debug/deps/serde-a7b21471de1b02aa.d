@@ -1,0 +1,5 @@
+/root/repo/crates/shims/serde/target/debug/deps/serde-a7b21471de1b02aa.d: src/lib.rs
+
+/root/repo/crates/shims/serde/target/debug/deps/serde-a7b21471de1b02aa: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,102 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal implementation (see `crates/shims/README.md`). The
+//! repository uses `#[derive(Serialize, Deserialize)]` purely as metadata
+//! on result/config types — nothing is actually serialized to a wire
+//! format yet — so the derives here validate and accept the annotation
+//! while emitting a marker-trait impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(name, generics-ident-list)` from a struct/enum definition.
+///
+/// This is a deliberately small parser: it finds the `struct`/`enum`
+/// keyword, takes the following identifier, and (when a `<...>` generics
+/// list follows) collects the type/lifetime parameter names so the
+/// emitted impl can repeat them.
+fn type_header(input: &TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let mut params = Vec::new();
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            iter.next();
+                            let mut depth = 1usize;
+                            let mut expecting_param = true;
+                            while let Some(tt) = iter.next() {
+                                match tt {
+                                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                        expecting_param = true;
+                                    }
+                                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => {
+                                        // Lifetime: the next ident is its name.
+                                        if expecting_param {
+                                            if let Some(TokenTree::Ident(l)) = iter.next() {
+                                                params.push(format!("'{l}"));
+                                                expecting_param = false;
+                                            }
+                                        }
+                                    }
+                                    TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                                        let s = id.to_string();
+                                        if s != "const" {
+                                            params.push(s);
+                                            expecting_param = false;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    return Some((name.to_string(), params));
+                }
+            }
+        }
+        // Skip attribute bodies and where clauses wholesale.
+        if let TokenTree::Group(g) = &tt {
+            if g.delimiter() == Delimiter::Brace {
+                break;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, params)) = type_header(&input) else {
+        return TokenStream::new();
+    };
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    format!("impl{generics} serde::{trait_name} for {name}{generics} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Derives the vendored marker [`serde::Serialize`] trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Derives the vendored marker [`serde::Deserialize`] trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}

@@ -101,10 +101,7 @@ impl FaultSchedule {
     /// Whether the exteroceptive sensor is producing at time `t`.
     #[must_use]
     pub fn sensor_available(&self, t: Seconds) -> bool {
-        !self
-            .faults
-            .iter()
-            .any(|f| matches!(f, Fault::SensorDropout { .. }) && f.active_at(t))
+        !self.faults.iter().any(|f| matches!(f, Fault::SensorDropout { .. }) && f.active_at(t))
     }
 
     /// The compute latency multiplier at time `t` (product of active

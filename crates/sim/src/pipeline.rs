@@ -293,12 +293,7 @@ mod tests {
     fn hd_pipeline(kind: PlatformKind) -> Pipeline {
         use crate::sensor::SensorKind;
         Pipeline::new(
-            SensorSpec::new(
-                SensorKind::Camera,
-                Hertz::new(30.0),
-                Bytes::new(1920.0 * 1080.0),
-                2.0,
-            ),
+            SensorSpec::new(SensorKind::Camera, Hertz::new(30.0), Bytes::new(1920.0 * 1080.0), 2.0),
             Platform::preset(kind),
             KernelProfile::feature_extract(1920, 1080),
         )

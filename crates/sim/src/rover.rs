@@ -112,8 +112,7 @@ impl Rover {
     #[must_use]
     pub fn drive_power(&self, v: MetersPerSecond) -> Watts {
         const G: f64 = 9.81;
-        let mass_kg =
-            (self.config.chassis_mass + self.config.tier.mass()).to_kilograms().value();
+        let mass_kg = (self.config.chassis_mass + self.config.tier.mass()).to_kilograms().value();
         Watts::new(self.config.rolling_resistance * mass_kg * G * v.value())
             + self.config.base_power
     }
@@ -169,7 +168,8 @@ impl Rover {
                 let to_carrot = carrot - pose.position;
                 let heading_error = normalize_angle(to_carrot.angle() - pose.heading);
                 // Unicycle command: slow down for sharp turns.
-                let v = self.config.max_speed * (1.0 - 0.7 * (heading_error.abs() / core::f64::consts::PI));
+                let v = self.config.max_speed
+                    * (1.0 - 0.7 * (heading_error.abs() / core::f64::consts::PI));
                 let omega = 2.5 * heading_error;
                 // Integrate the kinematics.
                 let step = v * dt;
@@ -232,8 +232,9 @@ mod tests {
     fn weak_compute_spends_more_time_planning() {
         let world = open_world();
         let goals = [Vec2::new(28.0, 28.0)];
-        let fast = Rover::new(RoverConfig { tier: ComputeTier::EmbeddedGpu, ..RoverConfig::default() })
-            .patrol(&world, Vec2::new(1.0, 1.0), &goals, 3);
+        let fast =
+            Rover::new(RoverConfig { tier: ComputeTier::EmbeddedGpu, ..RoverConfig::default() })
+                .patrol(&world, Vec2::new(1.0, 1.0), &goals, 3);
         let slow = Rover::new(RoverConfig { tier: ComputeTier::Micro, ..RoverConfig::default() })
             .patrol(&world, Vec2::new(1.0, 1.0), &goals, 3);
         assert!(slow.planning_fraction() > fast.planning_fraction());

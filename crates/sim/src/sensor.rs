@@ -70,12 +70,7 @@ impl SensorSpec {
     /// A 2D lidar: `beams` ranges of 4 bytes per revolution.
     #[must_use]
     pub fn lidar(rev_per_sec: f64, beams: usize) -> Self {
-        Self::new(
-            SensorKind::Lidar,
-            Hertz::new(rev_per_sec),
-            Bytes::new(4.0 * beams as f64),
-            0.02,
-        )
+        Self::new(SensorKind::Lidar, Hertz::new(rev_per_sec), Bytes::new(4.0 * beams as f64), 0.02)
     }
 
     /// A 6-axis IMU at the given sample rate.
@@ -189,8 +184,8 @@ mod tests {
         let mut n = NoiseSource::new(2.0, 3);
         let samples: Vec<f64> = (0..20_000).map(|_| n.sample()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -133,7 +133,9 @@ impl ThermalState {
     /// ever throttling.
     #[must_use]
     pub fn sustainable_power(&self) -> Watts {
-        Watts::new((self.config.throttle_c - self.config.ambient_c) / self.config.resistance_c_per_w)
+        Watts::new(
+            (self.config.throttle_c - self.config.ambient_c) / self.config.resistance_c_per_w,
+        )
     }
 }
 
@@ -182,7 +184,7 @@ mod tests {
     fn sustainable_power_matches_throttle_point() {
         let t = ThermalState::new(ThermalConfig::default());
         assert_eq!(t.sustainable_power(), Watts::new(30.0)); // (85-25)/2
-        // Just below it never throttles.
+                                                             // Just below it never throttles.
         let mut s = ThermalState::new(ThermalConfig::default());
         for _ in 0..5000 {
             s.step(Watts::new(29.0), Seconds::new(1.0));

@@ -258,11 +258,7 @@ impl Uav {
             }
         }
 
-        let average_speed = if t.value() > 0.0 {
-            covered / t
-        } else {
-            MetersPerSecond::new(0.0)
-        };
+        let average_speed = if t.value() > 0.0 { covered / t } else { MetersPerSecond::new(0.0) };
         MissionOutcome {
             completed,
             time: t,
@@ -330,7 +326,8 @@ mod tests {
     #[test]
     fn overprovisioned_compute_fails_long_missions() {
         let long = MissionSpec::survey(6000.0);
-        let embedded = Uav::new(UavConfig::default().with_tier(ComputeTier::Embedded)).fly(&long, 3);
+        let embedded =
+            Uav::new(UavConfig::default().with_tier(ComputeTier::Embedded)).fly(&long, 3);
         let server = Uav::new(UavConfig::default().with_tier(ComputeTier::Server)).fly(&long, 3);
         assert!(embedded.completed, "right-sized compute completes");
         assert!(!server.completed, "over-provisioned compute drains the battery");

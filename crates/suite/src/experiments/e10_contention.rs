@@ -34,11 +34,7 @@ impl ContentionResult {
         let mut report = Report::new("E10 — accelerators are not free: contention (§2.4)");
         let mut t = Table::new(
             "identical accelerators sharing a 12 GB/s DRAM bus (4 GB/s each)",
-            vec![
-                "accelerators",
-                "per-unit throughput",
-                "aggregate throughput",
-            ],
+            vec!["accelerators", "per-unit throughput", "aggregate throughput"],
         );
         for &(n, per, agg) in &self.scaling_rows {
             t.push_row(vec![n.to_string(), fmt_f64(per), fmt_f64(agg)]);
@@ -77,23 +73,19 @@ pub fn run() -> ContentionResult {
     let sensor =
         SensorSpec::new(SensorKind::Camera, Hertz::new(30.0), Bytes::new(1920.0 * 1080.0), 2.0);
     let kernel = KernelProfile::feature_extract(1920, 1080);
-    let balance_rows = [
-        PlatformKind::CpuScalar,
-        PlatformKind::CpuSimd,
-        PlatformKind::Gpu,
-        PlatformKind::Asic,
-    ]
-    .iter()
-    .map(|&kind| {
-        let p = Pipeline::new(sensor.clone(), Platform::preset(kind), kernel.clone());
-        let stats = p.simulate(Seconds::new(10.0));
-        (
-            Platform::preset(kind).name().to_string(),
-            stats.drop_rate(),
-            stats.mean_latency.as_millis(),
-        )
-    })
-    .collect();
+    let balance_rows =
+        [PlatformKind::CpuScalar, PlatformKind::CpuSimd, PlatformKind::Gpu, PlatformKind::Asic]
+            .iter()
+            .map(|&kind| {
+                let p = Pipeline::new(sensor.clone(), Platform::preset(kind), kernel.clone());
+                let stats = p.simulate(Seconds::new(10.0));
+                (
+                    Platform::preset(kind).name().to_string(),
+                    stats.drop_rate(),
+                    stats.mean_latency.as_millis(),
+                )
+            })
+            .collect();
 
     ContentionResult { scaling_rows, balance_rows }
 }

@@ -51,7 +51,8 @@ impl GrowthModel {
         (FIRST_YEAR..=LAST_YEAR)
             .map(|year| {
                 let lambda_per_venue = self.expected(year) / self.venues as f64;
-                let total: u64 = (0..self.venues).map(|_| poisson(&mut rng, lambda_per_venue)).sum();
+                let total: u64 =
+                    (0..self.venues).map(|_| poisson(&mut rng, lambda_per_venue)).sum();
                 (year, total)
             })
             .collect()
@@ -89,10 +90,7 @@ impl GrowthResult {
     #[must_use]
     pub fn report(&self) -> Report {
         let mut report = Report::new("E1 — publication growth (paper Fig. 1)");
-        let mut t = Table::new(
-            "mentions per year",
-            vec!["year", "mentions"],
-        );
+        let mut t = Table::new("mentions per year", vec!["year", "mentions"]);
         for &(year, n) in &self.series {
             t.push_row(vec![year.to_string(), n.to_string()]);
         }
@@ -153,8 +151,7 @@ mod tests {
     fn poisson_mean_is_close() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let n = 20_000;
-        let mean =
-            (0..n).map(|_| poisson(&mut rng, 4.0)).sum::<u64>() as f64 / f64::from(n);
+        let mean = (0..n).map(|_| poisson(&mut rng, 4.0)).sum::<u64>() as f64 / f64::from(n);
         assert!((mean - 4.0).abs() < 0.1, "got {mean}");
     }
 

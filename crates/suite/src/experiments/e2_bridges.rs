@@ -94,11 +94,7 @@ impl BridgesResult {
         let mut report = Report::new("E2 — build bridges: benchmark-stale acceleration (§2.1)");
         let mut t = Table::new(
             "end-to-end speedup over the host CPU",
-            vec![
-                "design",
-                "legacy benchmark",
-                "deployed pipeline",
-            ],
+            vec!["design", "legacy benchmark", "deployed pipeline"],
         );
         for (name, legacy, deployed) in &self.rows {
             t.push_row(vec![name.clone(), fmt_f64(*legacy), fmt_f64(*deployed)]);

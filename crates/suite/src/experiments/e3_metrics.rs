@@ -102,8 +102,8 @@ pub fn run(seed: u64) -> MetricsResult {
             let epochs_to_target =
                 model.epochs_to_accuracy(&data, target, 0.05, precision, max_epochs);
             let steps_per_epoch = data.len() as f64;
-            let time_to_accuracy = epochs_to_target
-                .map(|e| e as f64 * steps_per_epoch * step_latency.value());
+            let time_to_accuracy =
+                epochs_to_target.map(|e| e as f64 * steps_per_epoch * step_latency.value());
             PrecisionRow {
                 precision: precision.to_string(),
                 steps_per_second,
@@ -117,9 +117,7 @@ pub fn run(seed: u64) -> MetricsResult {
     let throughput_winner = rows
         .iter()
         .max_by(|a, b| {
-            a.steps_per_second
-                .partial_cmp(&b.steps_per_second)
-                .expect("finite throughput")
+            a.steps_per_second.partial_cmp(&b.steps_per_second).expect("finite throughput")
         })
         .expect("nonempty rows")
         .precision
@@ -127,11 +125,7 @@ pub fn run(seed: u64) -> MetricsResult {
     let time_to_accuracy_winner = rows
         .iter()
         .filter(|r| r.time_to_accuracy.is_some())
-        .min_by(|a, b| {
-            a.time_to_accuracy
-                .partial_cmp(&b.time_to_accuracy)
-                .expect("finite times")
-        })
+        .min_by(|a, b| a.time_to_accuracy.partial_cmp(&b.time_to_accuracy).expect("finite times"))
         .expect("at least one precision converges")
         .precision
         .clone();

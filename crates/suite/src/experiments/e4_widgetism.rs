@@ -23,22 +23,13 @@ pub fn task_suite() -> Vec<(String, Vec<KernelProfile>)> {
             "manipulator-control".to_string(),
             vec![KernelProfile::rnea(7), KernelProfile::gemv(128, 128)],
         ),
-        (
-            "warehouse-prm".to_string(),
-            vec![KernelProfile::collision_batch(120_000, 256)],
-        ),
+        ("warehouse-prm".to_string(), vec![KernelProfile::collision_batch(120_000, 256)]),
         (
             "visual-odometry".to_string(),
             vec![KernelProfile::feature_extract(640, 480), KernelProfile::gemv(256, 256)],
         ),
-        (
-            "perception-dnn".to_string(),
-            vec![KernelProfile::dnn_inference(2.0e6, 2.0e6)],
-        ),
-        (
-            "legacy-scan-matching".to_string(),
-            vec![KernelProfile::correlation_scan(9261, 90)],
-        ),
+        ("perception-dnn".to_string(), vec![KernelProfile::dnn_inference(2.0e6, 2.0e6)]),
+        ("legacy-scan-matching".to_string(), vec![KernelProfile::correlation_scan(9261, 90)]),
     ]
 }
 
@@ -179,11 +170,7 @@ mod tests {
         let r = run();
         let cross = design_index(&r, "crosscutting-asic");
         let host = design_index(&r, "cpu-simd");
-        let improved = r
-            .speedups
-            .iter()
-            .filter(|(_, row)| row[cross] > row[host] * 1.2)
-            .count();
+        let improved = r.speedups.iter().filter(|(_, row)| row[cross] > row[host] * 1.2).count();
         assert!(improved >= 3, "cross-cutting design should lift at least 3 of 6 tasks");
     }
 

@@ -97,9 +97,7 @@ pub fn run(seed: u64) -> BrakesResult {
         .iter()
         .filter(|r| r.completed)
         .min_by(|a, b| {
-            a.energy_per_meter
-                .partial_cmp(&b.energy_per_meter)
-                .expect("finite energies")
+            a.energy_per_meter.partial_cmp(&b.energy_per_meter).expect("finite energies")
         })
         .expect("some tier completes")
         .tier
@@ -124,11 +122,7 @@ mod tests {
     #[test]
     fn best_tier_is_a_middle_tier() {
         let r = run(5);
-        assert!(
-            r.best_tier == "embedded" || r.best_tier == "embedded-gpu",
-            "got {}",
-            r.best_tier
-        );
+        assert!(r.best_tier == "embedded" || r.best_tier == "embedded-gpu", "got {}", r.best_tier);
     }
 
     #[test]

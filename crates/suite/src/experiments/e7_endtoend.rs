@@ -41,11 +41,7 @@ impl EndToEndResult {
         let mut report = Report::new("E7 — forest vs. trees: end-to-end speedup (§2.6)");
         let mut t = Table::new(
             "end-to-end gain vs kernel-only speedup",
-            vec![
-                "kernel speedup",
-                "lean pipeline",
-                "heavy AI-tax pipeline",
-            ],
+            vec!["kernel speedup", "lean pipeline", "heavy AI-tax pipeline"],
         );
         for &(k, lean, taxed) in &self.rows {
             t.push_row(vec![fmt_f64(k), fmt_f64(lean), fmt_f64(taxed)]);

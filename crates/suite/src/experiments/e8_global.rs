@@ -34,11 +34,7 @@ impl GlobalResult {
 
         let mut fleet = Table::new(
             "E8a: AV fleet onboard-compute emissions (1 kW, 8 h/day)",
-            vec![
-                "fleet size",
-                "annual MtCO2e",
-                "100 MW datacenter equivalents",
-            ],
+            vec!["fleet size", "annual MtCO2e", "100 MW datacenter equivalents"],
         );
         for &(n, mt, dc) in &self.fleet_rows {
             fleet.push_row(vec![n.to_string(), fmt_f64(mt), fmt_f64(dc)]);
@@ -47,11 +43,7 @@ impl GlobalResult {
 
         let mut chiplet = Table::new(
             "E8c: embodied carbon, 600 mm² of 7 nm logic",
-            vec![
-                "design",
-                "embodied [kgCO2e]",
-                "next generation w/ reuse [kgCO2e]",
-            ],
+            vec!["design", "embodied [kgCO2e]", "next generation w/ reuse [kgCO2e]"],
         );
         for (name, embodied, next) in &self.chiplet_rows {
             chiplet.push_row(vec![name.clone(), fmt_f64(*embodied), fmt_f64(*next)]);

@@ -75,11 +75,7 @@ impl DseResult {
         let mut report = Report::new("E9 — ML for system design: DSE sample efficiency (§3.1)");
         let mut t = Table::new(
             "search strategies at a 40-evaluation budget",
-            vec![
-                "strategy",
-                "best cost [J/m]",
-                "evals to within 10% of optimum",
-            ],
+            vec!["strategy", "best cost [J/m]", "evals to within 10% of optimum"],
         );
         for (name, cost, evals) in &self.rows {
             t.push_row(vec![
@@ -108,21 +104,13 @@ pub fn run(seed: u64) -> DseResult {
     let objective = move |values: &[f64]| mission_cost(values, seed);
     let budget = SearchBudget::new(40);
 
-    let exhaustive = Explorer::Exhaustive.run(
-        &space,
-        &objective,
-        SearchBudget::new(space.cardinality()),
-        seed,
-    );
+    let exhaustive =
+        Explorer::Exhaustive.run(&space, &objective, SearchBudget::new(space.cardinality()), seed);
     let optimum = exhaustive.best_cost;
     let threshold = optimum * 1.10;
 
-    let strategies = [
-        Explorer::Random,
-        Explorer::annealing(),
-        Explorer::genetic(),
-        Explorer::surrogate(),
-    ];
+    let strategies =
+        [Explorer::Random, Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()];
     let rows = strategies
         .iter()
         .map(|strategy| {

@@ -13,6 +13,7 @@
 //! | E9 | §3.1 ML for design | surrogate-guided DSE is more sample-efficient |
 //! | E10 | §2.4 + §3.1 | accelerators contend — per-unit throughput degrades |
 
+pub mod e10_contention;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -22,10 +23,12 @@ pub mod e6_platforms;
 pub mod e7_endtoend;
 pub mod e8_global;
 pub mod e9_dse;
-pub mod e10_contention;
 
 use crate::report::Report;
+use m7_par::{derive_seed, ParConfig};
 use serde::{Deserialize, Serialize};
+
+pub use e6_platforms::Timing;
 
 /// A runnable experiment from the suite.
 ///
@@ -112,22 +115,61 @@ impl ExperimentId {
     }
 
     /// Runs the experiment with default parameters, deterministic in
-    /// `seed`.
+    /// `seed` (except E6's wall-clock rows; see [`Timing`]).
     #[must_use]
     pub fn run(self, seed: u64) -> Report {
+        self.run_with(seed, Timing::Measured)
+    }
+
+    /// Runs the experiment with an explicit E6 [`Timing`] mode. With
+    /// [`Timing::Modeled`] every report is a pure function of `seed`.
+    #[must_use]
+    pub fn run_with(self, seed: u64, timing: Timing) -> Report {
         match self {
             Self::E1Growth => e1_growth::run(seed).report(),
             Self::E2Bridges => e2_bridges::run().report(),
             Self::E3Metrics => e3_metrics::run(seed).report(),
             Self::E4Widgetism => e4_widgetism::run().report(),
             Self::E5Brakes => e5_brakes::run(seed).report(),
-            Self::E6Platforms => e6_platforms::run(seed).report(),
+            Self::E6Platforms => {
+                e6_platforms::run_with(seed, timing, m7_par::ParConfig::default()).report()
+            }
             Self::E7EndToEnd => e7_endtoend::run().report(),
             Self::E8Global => e8_global::run().report(),
             Self::E9Dse => e9_dse::run(seed).report(),
             Self::E10Contention => e10_contention::run().report(),
         }
     }
+}
+
+/// Runs all ten experiments one at a time, in paper order, each on its own
+/// seed derived from `root_seed` — the serial reference for
+/// [`run_all_parallel`].
+#[must_use]
+pub fn run_all_serial(root_seed: u64, timing: Timing) -> Vec<(ExperimentId, Report)> {
+    ExperimentId::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, id.run_with(derive_seed(root_seed, i as u64), timing)))
+        .collect()
+}
+
+/// Runs all ten experiments concurrently on the deterministic pool, each
+/// on its own seed derived from `root_seed`, returning reports in paper
+/// order regardless of which experiment finishes first.
+///
+/// With [`Timing::Modeled`] the reports are byte-identical to
+/// [`run_all_serial`] with the same arguments at any thread count; with
+/// [`Timing::Measured`] only E6's two wall-clock numbers differ.
+#[must_use]
+pub fn run_all_parallel(
+    root_seed: u64,
+    timing: Timing,
+    par: ParConfig,
+) -> Vec<(ExperimentId, Report)> {
+    let indexed: Vec<(usize, ExperimentId)> =
+        ExperimentId::ALL.iter().copied().enumerate().collect();
+    par.par_map(&indexed, |&(i, id)| (id, id.run_with(derive_seed(root_seed, i as u64), timing)))
 }
 
 impl core::fmt::Display for ExperimentId {
@@ -154,5 +196,12 @@ mod tests {
     #[test]
     fn display_matches_slug() {
         assert_eq!(ExperimentId::E5Brakes.to_string(), "e5_brakes");
+    }
+
+    #[test]
+    fn parallel_runner_preserves_paper_order() {
+        let reports = run_all_parallel(42, Timing::Modeled, ParConfig::default());
+        let ids: Vec<ExperimentId> = reports.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ExperimentId::ALL);
     }
 }

@@ -93,7 +93,8 @@ mod tests {
 
     #[test]
     fn transfer_time() {
-        let t: Seconds = Bytes::from_gigabytes(1.0) / BytesPerSecond::from_gigabytes_per_second(4.0);
+        let t: Seconds =
+            Bytes::from_gigabytes(1.0) / BytesPerSecond::from_gigabytes_per_second(4.0);
         assert!((t.value() - 0.25).abs() < 1e-12);
         let moved: Bytes = BytesPerSecond::new(100.0) * Seconds::new(2.0);
         assert_eq!(moved, Bytes::new(200.0));

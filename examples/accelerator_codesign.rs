@@ -37,19 +37,12 @@ fn main() {
     );
 
     // The workload under design: the obstacle-avoidance inner loop.
-    let workload = [
-        KernelProfile::collision_batch(100_000, 128),
-        KernelProfile::ekf_update(23),
-    ];
+    let workload = [KernelProfile::collision_batch(100_000, 128), KernelProfile::ekf_update(23)];
     let objective = |values: &[f64]| -> Vec<f64> {
         let config = config_from(values);
         let platform = config.generate().expect("space contains only valid configs");
         let cost = platform.estimate_pipeline(&workload);
-        vec![
-            cost.latency.as_millis(),
-            platform.active_power().value(),
-            platform.die_area().value(),
-        ]
+        vec![cost.latency.as_millis(), platform.active_power().value(), platform.die_area().value()]
     };
 
     let front = nsga2(&space, &objective, 40, 32, 2024);

@@ -23,8 +23,8 @@ fn main() {
     // Five years of 8 h/day operation on the world-average grid.
     let duty = Seconds::from_hours(5.0 * 365.0 * 8.0);
     let energy: Joules = Watts::new(15.0) * duty;
-    let footprint = CarbonFootprint::new(embodied)
-        .add_operation(energy, GridIntensity::WorldAverage);
+    let footprint =
+        CarbonFootprint::new(embodied).add_operation(energy, GridIntensity::WorldAverage);
     println!(
         "  5-year footprint: {:.1} kgCO2e total ({:.0}% embodied)",
         footprint.total().value(),

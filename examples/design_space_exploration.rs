@@ -28,12 +28,9 @@ fn main() {
 
     let budget = SearchBudget::new(40);
     println!("{:<12} {:>12} {:>22}", "strategy", "best J/m", "evals to within 10%");
-    for strategy in [
-        Explorer::Random,
-        Explorer::annealing(),
-        Explorer::genetic(),
-        Explorer::surrogate(),
-    ] {
+    for strategy in
+        [Explorer::Random, Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()]
+    {
         let result = strategy.run(&space, &objective, budget, seed);
         let within = result
             .trace

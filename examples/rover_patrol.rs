@@ -16,12 +16,8 @@ fn main() {
     world.add_rect(Vec2::new(15.0, 30.0), Vec2::new(40.0, 34.0));
     world.scatter_circles(25, 0.4, 1.3, 2024);
 
-    let goals = [
-        Vec2::new(45.0, 5.0),
-        Vec2::new(45.0, 45.0),
-        Vec2::new(5.0, 45.0),
-        Vec2::new(5.0, 22.0),
-    ];
+    let goals =
+        [Vec2::new(45.0, 5.0), Vec2::new(45.0, 45.0), Vec2::new(5.0, 45.0), Vec2::new(5.0, 22.0)];
     println!("patrol: 4 goals across a 50x50 m yard\n");
     println!(
         "{:<14} {:>7} {:>9} {:>11} {:>10} {:>9}",

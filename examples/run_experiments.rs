@@ -2,23 +2,61 @@
 //! full reports — the repository's equivalent of rebuilding all of the
 //! paper's figures in one command.
 //!
-//! Run with: `cargo run --release --example run_experiments [e5]`
+//! Run with: `cargo run --release --example run_experiments [flags] [e5]`
 //!
-//! An optional argument selects a single experiment by slug prefix.
+//! By default the ten experiments run **concurrently** on the
+//! deterministic pool (thread count from `M7_THREADS`, else all cores)
+//! with cost-modeled E6 build times, so the output is byte-identical to
+//! the serial run for the same seed. Flags:
+//!
+//! - `--serial` — run the experiments one at a time (same seeds, same
+//!   output).
+//! - `--measured` — time E6's roadmap builds on the host wall clock
+//!   instead of the cost models (numbers vary run to run).
+//!
+//! A non-flag argument selects a single experiment by slug prefix.
 
-use magseven::suite::experiments::ExperimentId;
+use magseven::par::{derive_seed, ParConfig};
+use magseven::suite::experiments::{run_all_parallel, run_all_serial, ExperimentId, Timing};
 
 fn main() {
-    let filter = std::env::args().nth(1);
-    let seed = 42;
-    for id in ExperimentId::ALL {
-        if let Some(f) = &filter {
-            if !id.slug().starts_with(f.as_str()) {
-                continue;
-            }
+    let mut serial = false;
+    let mut timing = Timing::Modeled;
+    let mut filter: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--serial" => serial = true,
+            "--measured" => timing = Timing::Measured,
+            _ => filter = Some(arg),
         }
-        eprintln!("running {} — {}", id.slug(), id.description());
-        let report = id.run(seed);
+    }
+    let seed = 42;
+
+    let reports = if let Some(f) = &filter {
+        // A single experiment keeps its full-run seed (its paper index).
+        ExperimentId::ALL
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| id.slug().starts_with(f.as_str()))
+            .map(|(i, &id)| (id, id.run_with(derive_seed(seed, i as u64), timing)))
+            .collect()
+    } else if serial {
+        run_all_serial(seed, timing)
+    } else {
+        run_all_parallel(seed, timing, ParConfig::default())
+    };
+
+    if reports.is_empty() {
+        let slugs: Vec<&str> = ExperimentId::ALL.iter().map(|id| id.slug()).collect();
+        eprintln!(
+            "no experiment slug starts with {:?}; known slugs: {}",
+            filter.as_deref().unwrap_or(""),
+            slugs.join(", ")
+        );
+        std::process::exit(2);
+    }
+    for (id, report) in reports {
+        eprintln!("ran {} — {}", id.slug(), id.description());
         println!("{report}");
         println!("{}", "=".repeat(76));
     }

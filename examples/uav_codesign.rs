@@ -10,10 +10,7 @@
 use magseven::prelude::*;
 
 fn main() {
-    let distance: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4000.0);
+    let distance: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4000.0);
     let mission = MissionSpec::survey(distance);
     println!("survey mission: {distance} m, 20 Wh battery, 1.2 kg frame\n");
     println!(

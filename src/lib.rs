@@ -14,6 +14,7 @@
 //! - [`dse`] — design-space exploration ([`m7_dse`])
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
 //! - [`suite`] — benchmark suite and experiments E1..E10 ([`m7_suite`])
+//! - [`par`] — deterministic parallel runtime ([`m7_par`])
 //!
 //! ## Quickstart
 //!
@@ -31,6 +32,7 @@ pub use m7_arch as arch;
 pub use m7_dse as dse;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
+pub use m7_par as par;
 pub use m7_sim as sim;
 pub use m7_suite as suite;
 pub use m7_units as units;
@@ -65,6 +67,7 @@ pub mod prelude {
         embodied::DieSpec,
         fleet::FleetModel,
     };
+    pub use m7_par::ParConfig;
     pub use m7_sim::{
         mission::{MissionOutcome, MissionSpec},
         rover::{Rover, RoverConfig},

@@ -41,8 +41,7 @@ fn mission_to_carbon_pipeline() {
     let annual_missions = missions_per_day * 365.0;
     let waste: Joules = (large.energy - small.energy) * annual_missions;
     let grid = GridIntensity::WorldAverage;
-    let per_vehicle =
-        operational_carbon(Watts::new(1.0), Seconds::new(waste.value()), grid, 1.0);
+    let per_vehicle = operational_carbon(Watts::new(1.0), Seconds::new(waste.value()), grid, 1.0);
     assert!(
         per_vehicle.value() > 1.0,
         "over-provisioning costs kilograms of CO2e per vehicle-year: {per_vehicle}"
@@ -74,8 +73,8 @@ fn pipeline_keepup_matches_sustainable_rate() {
     for kind in [PlatformKind::CpuScalar, PlatformKind::CpuSimd, PlatformKind::Gpu] {
         let platform = Platform::preset(kind);
         let sustainable = platform.sustainable_input_rate(&kernel, sensor.payload());
-        let stats = Pipeline::new(sensor.clone(), platform, kernel.clone())
-            .simulate(Seconds::new(5.0));
+        let stats =
+            Pipeline::new(sensor.clone(), platform, kernel.clone()).simulate(Seconds::new(5.0));
         let keeps_up_model = sustainable.value() > sensor.data_rate().value();
         let keeps_up_sim = stats.drop_rate() < 0.05;
         // The analytic rate check and the discrete-event simulation agree

@@ -1,0 +1,70 @@
+//! The m7-par determinism contract, checked end to end: the same seed
+//! must produce bit-identical results whether work runs serially, on the
+//! deterministic pool, or at any thread count.
+
+use magseven::dse::explorer::{Explorer, SearchBudget};
+use magseven::dse::moga::{nsga2, nsga2_with};
+use magseven::dse::space::{DesignSpace, Dimension};
+use magseven::par::ParConfig;
+use magseven::suite::experiments::{run_all_parallel, run_all_serial, Timing};
+
+fn rugged_space() -> DesignSpace {
+    DesignSpace::new(vec![
+        Dimension::new("x", (0..24).map(f64::from).collect()),
+        Dimension::new("y", (0..24).map(f64::from).collect()),
+        Dimension::new("z", (0..8).map(f64::from).collect()),
+    ])
+}
+
+fn rugged(v: &[f64]) -> f64 {
+    let dx = v[0] - 17.0;
+    let dy = v[1] - 5.0;
+    let dz = v[2] - 3.0;
+    dx * dx + dy * dy + 2.0 * dz * dz + 3.0 * ((v[0] * 0.9).sin() + (v[1] * 1.3).cos())
+}
+
+/// Satellite requirement: identical `Report` output from the parallel
+/// runner vs. the serial loop for the same seed.
+#[test]
+fn run_all_parallel_matches_serial_loop_byte_for_byte() {
+    let serial = run_all_serial(42, Timing::Modeled);
+    let parallel = run_all_parallel(42, Timing::Modeled, ParConfig::default());
+    assert_eq!(serial.len(), parallel.len());
+    for ((sid, sreport), (pid, preport)) in serial.iter().zip(&parallel) {
+        assert_eq!(sid, pid, "paper order must be preserved");
+        assert_eq!(
+            sreport.to_string(),
+            preport.to_string(),
+            "{sid}: parallel report must be byte-identical to serial"
+        );
+    }
+}
+
+/// Satellite requirement: identical `SearchResult` from every DSE
+/// strategy at 1 vs. 8 threads (the `M7_THREADS=1` CI job exercises the
+/// same path through the env override).
+#[test]
+fn dse_strategies_identical_at_1_vs_8_threads() {
+    let space = rugged_space();
+    let budget = SearchBudget::new(60);
+    let strategies =
+        [Explorer::Exhaustive, Explorer::Random, Explorer::genetic(), Explorer::surrogate()];
+    for strategy in &strategies {
+        let one = strategy.run_with(&space, &rugged, budget, 7, ParConfig::with_threads(1));
+        let eight = strategy.run_with(&space, &rugged, budget, 7, ParConfig::with_threads(8));
+        assert_eq!(one, eight, "{} must not depend on thread count", strategy.name());
+        let bitwise = one.trace.iter().zip(&eight.trace).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(bitwise, "{}: traces must match bit for bit", strategy.name());
+    }
+}
+
+#[test]
+fn moga_front_identical_at_1_vs_8_threads() {
+    let space = rugged_space();
+    let objective = |v: &[f64]| vec![v[0] + 0.2 * v[2], (23.0 - v[0]) + 0.1 * v[1]];
+    let default = nsga2(&space, &objective, 12, 16, 3);
+    let one = nsga2_with(&space, &objective, 12, 16, 3, ParConfig::with_threads(1));
+    let eight = nsga2_with(&space, &objective, 12, 16, 3, ParConfig::with_threads(8));
+    assert_eq!(one, eight);
+    assert_eq!(default, one, "the default config must agree with explicit threads");
+}

@@ -21,7 +21,8 @@ fn arch_workflow_via_prelude() {
         magseven::units::BytesPerSecond::from_gigabytes_per_second(100.0),
     );
     assert!(roof.ridge_point().value() > 0.0);
-    let cost: CostEstimate = Platform::preset(PlatformKind::Fpga).estimate(&KernelProfile::gemm(64));
+    let cost: CostEstimate =
+        Platform::preset(PlatformKind::Fpga).estimate(&KernelProfile::gemm(64));
     assert!(cost.latency > Seconds::ZERO);
     let bus = SharedBus::new(magseven::units::BytesPerSecond::from_gigabytes_per_second(10.0));
     assert!(bus.capacity().value() > 0.0);
@@ -29,15 +30,13 @@ fn arch_workflow_via_prelude() {
 
 #[test]
 fn sim_and_lca_workflow_via_prelude() {
-    let outcome: MissionOutcome =
-        Uav::new(UavConfig::default().with_tier(ComputeTier::Embedded))
-            .fly(&MissionSpec::survey(500.0), 1);
+    let outcome: MissionOutcome = Uav::new(UavConfig::default().with_tier(ComputeTier::Embedded))
+        .fly(&MissionSpec::survey(500.0), 1);
     assert!(outcome.completed);
 
-    let footprint = CarbonFootprint::new(
-        DieSpec::new(SquareMillimeters::new(80.0), 7.0).embodied_carbon(),
-    )
-    .add_operation(Joules::from_kilowatt_hours(10.0), GridIntensity::EuropeanUnion);
+    let footprint =
+        CarbonFootprint::new(DieSpec::new(SquareMillimeters::new(80.0), 7.0).embodied_carbon())
+            .add_operation(Joules::from_kilowatt_hours(10.0), GridIntensity::EuropeanUnion);
     assert!(footprint.total().value() > 0.0);
     let fleet = FleetModel::new(1000, Watts::new(500.0), 6.0);
     assert!(fleet.annual_emissions().value() > 0.0);
@@ -46,12 +45,8 @@ fn sim_and_lca_workflow_via_prelude() {
 #[test]
 fn dse_and_suite_workflow_via_prelude() {
     let space = DesignSpace::new(vec![m7_dse_dim("x", 5), m7_dse_dim("y", 5)]);
-    let result = Explorer::Exhaustive.run(
-        &space,
-        &|v: &[f64]| v[0] + v[1],
-        SearchBudget::new(25),
-        0,
-    );
+    let result =
+        Explorer::Exhaustive.run(&space, &|v: &[f64]| v[0] + v[1], SearchBudget::new(25), 0);
     assert_eq!(result.best_values, vec![0.0, 0.0]);
     let front = pareto_front(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 3.0]]);
     assert_eq!(front, vec![0, 1]);
