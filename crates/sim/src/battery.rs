@@ -129,6 +129,36 @@ mod tests {
     }
 
     #[test]
+    fn discharge_is_monotone() {
+        // Remaining charge never recovers and used energy never shrinks,
+        // no matter the draw pattern.
+        let mut b = Battery::new(Joules::new(500.0));
+        let powers = [5.0, 0.0, 80.0, 1.0, 40.0, 0.0, 120.0];
+        let mut last_remaining = b.remaining();
+        let mut last_used = b.used();
+        let mut last_soc = b.state_of_charge();
+        for (i, &p) in powers.iter().cycle().take(70).enumerate() {
+            b.draw(Watts::new(p), Seconds::new(0.5 + (i % 3) as f64));
+            assert!(b.remaining() <= last_remaining, "remaining must not recover");
+            assert!(b.used() >= last_used, "used must not shrink");
+            assert!(b.state_of_charge() <= last_soc, "SoC must not recover");
+            last_remaining = b.remaining();
+            last_used = b.used();
+            last_soc = b.state_of_charge();
+        }
+        assert!(b.is_empty(), "70 draws at these powers exhaust 500 J");
+        assert_eq!(b.remaining(), Joules::ZERO);
+    }
+
+    #[test]
+    fn zero_power_draw_changes_nothing() {
+        let mut b = Battery::new(Joules::new(100.0));
+        assert!(b.draw(Watts::new(0.0), Seconds::new(1e6)));
+        assert_eq!(b.remaining(), b.capacity());
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
     fn hover_power_increases_superlinearly() {
         let p1 = hover_power(Grams::new(1500.0), 0.25);
         let p2 = hover_power(Grams::new(3000.0), 0.25);

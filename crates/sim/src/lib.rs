@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 
 pub mod battery;
+pub mod campaign;
+pub mod degrade;
 pub mod des;
 pub mod faults;
 pub mod mission;

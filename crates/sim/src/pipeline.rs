@@ -7,10 +7,12 @@
 //! [`Pipeline::with_kernel_speedup`] and reports the end-to-end curve.
 
 use crate::des::EventQueue;
+use crate::faults::FaultSchedule;
 use crate::sensor::SensorSpec;
 use m7_arch::platform::Platform;
 use m7_arch::workload::KernelProfile;
 use m7_units::{Bytes, BytesPerSecond, Hertz, Seconds};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -49,6 +51,8 @@ pub struct PipelineStats {
     pub frames_processed: u64,
     /// Frames dropped at the full queue.
     pub frames_dropped: u64,
+    /// Frames lost in transport (inter-stage message drops).
+    pub frames_lost: u64,
     /// Mean end-to-end latency of processed frames.
     pub mean_latency: Seconds,
     /// 99th-percentile end-to-end latency.
@@ -65,6 +69,15 @@ impl PipelineStats {
             return 0.0;
         }
         self.frames_dropped as f64 / self.frames_in as f64
+    }
+
+    /// Fraction of produced frames lost in transport before the queue.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        if self.frames_in == 0 {
+            return 0.0;
+        }
+        self.frames_lost as f64 / self.frames_in as f64
     }
 }
 
@@ -198,6 +211,25 @@ impl Pipeline {
     /// backpressure behaviour of a real perception stack.
     #[must_use]
     pub fn simulate(&self, duration: Seconds) -> PipelineStats {
+        self.simulate_with_faults(duration, &FaultSchedule::none(), 0)
+    }
+
+    /// Simulates `duration` of operation under a fault schedule,
+    /// deterministic in `seed`.
+    ///
+    /// In addition to queue backpressure, frames arriving inside a
+    /// [`crate::faults::Fault::MessageDrop`] window are lost in
+    /// transport with the scheduled probability before they ever reach
+    /// the compute queue — the inter-stage link failures of a real
+    /// distributed autonomy stack. With an empty schedule this is
+    /// byte-identical to [`Pipeline::simulate`].
+    #[must_use]
+    pub fn simulate_with_faults(
+        &self,
+        duration: Seconds,
+        faults: &FaultSchedule,
+        seed: u64,
+    ) -> PipelineStats {
         #[derive(Debug, Clone, Copy, PartialEq)]
         enum Event {
             Arrival,
@@ -217,7 +249,9 @@ impl Pipeline {
         let mut frames_in = 0u64;
         let mut frames_processed = 0u64;
         let mut frames_dropped = 0u64;
+        let mut frames_lost = 0u64;
         let mut latencies: Vec<f64> = Vec::new();
+        let mut link = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x1155_D20B_5EED_0003);
 
         while let Some((now, event)) = q.pop() {
             if now > duration {
@@ -226,6 +260,12 @@ impl Pipeline {
             match event {
                 Event::Arrival => {
                     frames_in += 1;
+                    let drop_rate = faults.message_drop_rate(now);
+                    if drop_rate > 0.0 && link.gen_bool(drop_rate) {
+                        frames_lost += 1;
+                        q.schedule(now + period, Event::Arrival);
+                        continue;
+                    }
                     if busy {
                         if waiting.len() >= self.queue_capacity {
                             frames_dropped += 1;
@@ -269,6 +309,7 @@ impl Pipeline {
             frames_in,
             frames_processed,
             frames_dropped,
+            frames_lost,
             mean_latency: Seconds::new(mean),
             p99_latency: Seconds::new(p99),
             throughput: Hertz::new(frames_processed as f64 / duration.value().max(1e-12)),
@@ -364,10 +405,45 @@ mod tests {
             frames_in: 0,
             frames_processed: 0,
             frames_dropped: 0,
+            frames_lost: 0,
             mean_latency: Seconds::ZERO,
             p99_latency: Seconds::ZERO,
             throughput: Hertz::new(0.0),
         };
         assert_eq!(stats.drop_rate(), 0.0);
+        assert_eq!(stats.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn message_drops_lose_frames_in_transport() {
+        use crate::faults::{Fault, FaultSchedule};
+        let p = hd_pipeline(PlatformKind::Gpu);
+        let schedule = FaultSchedule::new(vec![Fault::MessageDrop {
+            start: Seconds::ZERO,
+            duration: Seconds::new(1e6),
+            drop_rate: 0.5,
+        }]);
+        let stats = p.simulate_with_faults(Seconds::new(10.0), &schedule, 1);
+        let rate = stats.loss_rate();
+        assert!(
+            (0.35..0.65).contains(&rate),
+            "half the frames should die in transport, got {rate}"
+        );
+        assert!(stats.frames_processed < stats.frames_in);
+        // Deterministic in the seed.
+        assert_eq!(stats, p.simulate_with_faults(Seconds::new(10.0), &schedule, 1));
+        assert_ne!(
+            stats.frames_lost,
+            p.simulate_with_faults(Seconds::new(10.0), &schedule, 2).frames_lost
+        );
+    }
+
+    #[test]
+    fn empty_schedule_matches_plain_simulate() {
+        let p = hd_pipeline(PlatformKind::CpuScalar);
+        let plain = p.simulate(Seconds::new(5.0));
+        let faulted = p.simulate_with_faults(Seconds::new(5.0), &FaultSchedule::none(), 99);
+        assert_eq!(plain, faulted);
+        assert_eq!(plain.frames_lost, 0);
     }
 }

@@ -9,11 +9,23 @@
 //! paper's Challenge 6 asks designs to be judged in.
 
 use crate::battery::Battery;
+use crate::degrade::DegradationPolicy;
+use crate::faults::{Fault, FaultSchedule};
 use crate::uav::ComputeTier;
 use m7_kernels::geometry::{normalize_angle, Pose2, Vec2};
 use m7_kernels::planning::{CollisionWorld, Rrt, RrtConfig};
 use m7_units::{Grams, Joules, Meters, MetersPerSecond, Seconds, Watts};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Blind creep speed on the ground while perception is out.
+const ROVER_BLIND_CREEP: f64 = 0.2;
+/// Stationary time for a cold reboot of the autonomy stack.
+const ROVER_COLD_BOOT_S: f64 = 12.0;
+/// Probability one warm restart revives a crashed stack.
+const ROVER_WARM_RESTART_SUCCESS: f64 = 0.7;
+/// Seed salt for the rover's fault-event RNG.
+const ROVER_EVENT_SEED_SALT: u64 = 0x0BE7_ADE0_5EED_0002;
 
 /// Rover chassis and power configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -197,6 +209,187 @@ impl Rover {
             completed: goals_reached == goals.len(),
         }
     }
+
+    /// Patrols under a fault schedule while consulting a
+    /// [`DegradationPolicy`], deterministic in `seed`.
+    ///
+    /// A ground vehicle degrades differently from a UAV: stopping is
+    /// always safe, so crashes and outages cost *time and energy* rather
+    /// than the vehicle. Compute crashes park the rover while the stack
+    /// restarts (warm retries if enabled, else a cold boot); sensor
+    /// dropouts are crept through blind or coasted on dead reckoning;
+    /// brownouts stretch the stationary planning stalls (the fallback
+    /// kernel shrinks them); battery sag inflates every draw; and a
+    /// safe-stop policy parks the rover once the reserve is reached
+    /// instead of stranding it mid-leg.
+    #[must_use]
+    pub fn patrol_degraded(
+        &self,
+        world: &CollisionWorld,
+        start: Vec2,
+        goals: &[Vec2],
+        faults: &FaultSchedule,
+        policy: &DegradationPolicy,
+        seed: u64,
+    ) -> DegradedPatrolOutcome {
+        let dt = Seconds::new(0.05);
+        let mut battery = Battery::new(self.config.battery);
+        let mut pose = Pose2::new(start, 0.0);
+        let mut time = Seconds::ZERO;
+        let mut planning_time = Seconds::ZERO;
+        let mut distance = Meters::new(0.0);
+        let mut goals_reached = 0usize;
+        let compute_power: Watts = self.config.tier.power();
+        let overhead = policy.monitor_overhead();
+        let mut events = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ ROVER_EVENT_SEED_SALT);
+
+        let mut crash_times: Vec<Seconds> = faults
+            .faults()
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ComputeCrash { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        crash_times.sort_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite crashes"));
+        let mut next_crash = 0usize;
+        let mut retries = 0u64;
+        let mut cold_boots = 0u64;
+        let mut coast_time = Seconds::ZERO;
+        let mut safe_stopped = false;
+
+        'mission: for (leg, &goal) in goals.iter().enumerate() {
+            let planner = Rrt::new(RrtConfig::default(), seed ^ (leg as u64) << 8);
+            let Some(raw) = planner.plan(world, pose.position, goal) else {
+                break;
+            };
+            let path = raw.shortcut(world);
+            // Brownouts stretch the planning stall; the fallback kernel
+            // shrinks it (and its power) at no safety cost on the ground.
+            let slowdown = faults.compute_slowdown(time);
+            let stressed = slowdown >= 1.5 || faults.battery_efficiency(time) < 1.0;
+            let (lat_scale, p_plan) = if policy.kernel_fallback && stressed {
+                (0.5 * slowdown, compute_power * 0.35)
+            } else {
+                (slowdown, compute_power)
+            };
+            let plan_cost = self.config.tier.plan_latency() * 20.0 * lat_scale * overhead;
+            planning_time += plan_cost;
+            time += plan_cost;
+            let eff = faults.battery_efficiency(time);
+            let p_stall = Watts::new((p_plan + self.config.base_power).value() / eff);
+            if !battery.draw(p_stall, plan_cost) {
+                break;
+            }
+
+            let mut s = 0.0f64;
+            let max_steps = 400_000;
+            for _ in 0..max_steps {
+                if pose.position.distance(goal) < 0.5 {
+                    goals_reached += 1;
+                    continue 'mission;
+                }
+                // Park for stack restarts.
+                while next_crash < crash_times.len() && crash_times[next_crash] <= time {
+                    next_crash += 1;
+                    let mut downtime = Seconds::ZERO;
+                    let mut revived = false;
+                    let mut attempt = 0u32;
+                    while let Some(cost) = policy.retry_cost(attempt) {
+                        downtime += cost;
+                        retries += 1;
+                        attempt += 1;
+                        if events.gen_bool(ROVER_WARM_RESTART_SUCCESS) {
+                            revived = true;
+                            break;
+                        }
+                    }
+                    if !revived {
+                        downtime += Seconds::new(ROVER_COLD_BOOT_S);
+                        cold_boots += 1;
+                    }
+                    time += downtime;
+                    if !battery.draw(self.config.base_power, downtime) {
+                        break 'mission;
+                    }
+                }
+                // Park for good once the reserve is reached.
+                if let Some(ss) = policy.safe_stop {
+                    if battery.state_of_charge() <= ss.reserve_fraction {
+                        safe_stopped = true;
+                        break 'mission;
+                    }
+                }
+                while s < path.length()
+                    && path.point_at(s).distance(pose.position) < self.config.lookahead
+                {
+                    s += self.config.lookahead * 0.25;
+                }
+                let carrot = path.point_at(s.min(path.length()));
+                let to_carrot = carrot - pose.position;
+                let heading_error = normalize_angle(to_carrot.angle() - pose.heading);
+                let v_track = self.config.max_speed
+                    * (1.0 - 0.7 * (heading_error.abs() / core::f64::consts::PI));
+                // Perception outages cap speed: coast or creep.
+                let v = if let Some(since) = faults.dropout_since(time) {
+                    match policy.coast {
+                        Some(c) if time - since < c.max_duration => {
+                            coast_time += dt;
+                            v_track * c.speed_fraction
+                        }
+                        _ => v_track.min(MetersPerSecond::new(ROVER_BLIND_CREEP)),
+                    }
+                } else {
+                    v_track
+                };
+                let omega = 2.5 * heading_error;
+                let step = v * dt;
+                pose = Pose2::new(
+                    pose.position + pose.forward() * step.value(),
+                    pose.heading + omega * dt.value(),
+                );
+                distance += step;
+                time += dt;
+                let eff = faults.battery_efficiency(time);
+                let p = Watts::new((self.drive_power(v) + compute_power).value() / eff);
+                if !battery.draw(p, dt) {
+                    break 'mission;
+                }
+            }
+            break;
+        }
+
+        DegradedPatrolOutcome {
+            outcome: RoverOutcome {
+                goals_reached,
+                time,
+                planning_time,
+                energy: battery.used().min(battery.capacity()),
+                distance,
+                completed: goals_reached == goals.len(),
+            },
+            safe_stopped,
+            retries,
+            cold_boots,
+            coast_time,
+        }
+    }
+}
+
+/// Outcome of a fault-injected, policy-mediated patrol
+/// ([`Rover::patrol_degraded`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedPatrolOutcome {
+    /// The usual patrol metrics.
+    pub outcome: RoverOutcome,
+    /// The rover parked on reserve charge instead of stranding mid-leg.
+    pub safe_stopped: bool,
+    /// Warm-restart attempts spent on compute crashes.
+    pub retries: u64,
+    /// Cold reboots after exhausted (or absent) retry budgets.
+    pub cold_boots: u64,
+    /// Time spent coasting on dead reckoning.
+    pub coast_time: Seconds,
 }
 
 #[cfg(test)]
@@ -282,6 +475,108 @@ mod tests {
             ..RoverConfig::default()
         });
         assert!(heavy.drive_power(MetersPerSecond::new(2.0)) > fast);
+    }
+
+    #[test]
+    fn degraded_patrol_with_no_faults_matches_legacy_shape() {
+        let world = open_world();
+        let rover = Rover::new(RoverConfig::default());
+        let goals = [Vec2::new(25.0, 25.0)];
+        let legacy = rover.patrol(&world, Vec2::new(2.0, 2.0), &goals, 7);
+        let degraded = rover.patrol_degraded(
+            &world,
+            Vec2::new(2.0, 2.0),
+            &goals,
+            &FaultSchedule::none(),
+            &DegradationPolicy::none(),
+            7,
+        );
+        assert_eq!(degraded.outcome, legacy, "blind + faultless replays the legacy loop");
+        assert!(!degraded.safe_stopped);
+        assert_eq!(degraded.retries, 0);
+    }
+
+    #[test]
+    fn crashes_cost_the_blind_rover_more_time() {
+        let world = open_world();
+        let rover = Rover::new(RoverConfig::default());
+        let goals = [Vec2::new(25.0, 25.0)];
+        let schedule = FaultSchedule::new(vec![
+            Fault::ComputeCrash { at: Seconds::new(4.0) },
+            Fault::ComputeCrash { at: Seconds::new(9.0) },
+        ]);
+        let blind = rover.patrol_degraded(
+            &world,
+            Vec2::new(2.0, 2.0),
+            &goals,
+            &schedule,
+            &DegradationPolicy::none(),
+            8,
+        );
+        let aware = rover.patrol_degraded(
+            &world,
+            Vec2::new(2.0, 2.0),
+            &goals,
+            &schedule,
+            &DegradationPolicy::full(),
+            8,
+        );
+        assert!(blind.outcome.completed && aware.outcome.completed);
+        assert_eq!(blind.cold_boots, 2);
+        assert!(aware.retries >= 2);
+        assert!(
+            aware.outcome.time < blind.outcome.time,
+            "warm restarts park the rover for less time: {} vs {}",
+            aware.outcome.time,
+            blind.outcome.time
+        );
+    }
+
+    #[test]
+    fn safe_stop_parks_on_reserve() {
+        let config = RoverConfig {
+            battery: Joules::new(800.0), // not enough for the long patrol
+            ..RoverConfig::default()
+        };
+        let rover = Rover::new(config);
+        let goals = [Vec2::new(28.0, 28.0), Vec2::new(2.0, 28.0), Vec2::new(28.0, 2.0)];
+        let aware = rover.patrol_degraded(
+            &open_world(),
+            Vec2::new(1.0, 1.0),
+            &goals,
+            &FaultSchedule::none(),
+            &DegradationPolicy::full(),
+            10,
+        );
+        assert!(!aware.outcome.completed);
+        assert!(aware.safe_stopped, "the rover should park on reserve, not strand");
+        assert!(aware.outcome.energy < Joules::new(800.0));
+    }
+
+    #[test]
+    fn degraded_patrol_is_deterministic() {
+        let world = open_world();
+        let rover = Rover::new(RoverConfig::default());
+        let goals = [Vec2::new(20.0, 25.0)];
+        let schedule =
+            FaultSchedule::sample(&crate::faults::FaultProfile::harsh(), Seconds::new(120.0), 3);
+        let a = rover.patrol_degraded(
+            &world,
+            Vec2::new(1.0, 1.0),
+            &goals,
+            &schedule,
+            &DegradationPolicy::full(),
+            3,
+        );
+        let b = rover.patrol_degraded(
+            &world,
+            Vec2::new(1.0, 1.0),
+            &goals,
+            &schedule,
+            &DegradationPolicy::full(),
+            3,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -200,6 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn noise_stays_within_sigma_bounds() {
+        // Box-Muller over a [eps, 1) uniform has a hard tail bound of
+        // sqrt(-2 ln eps) ~ 8.5 sigma; practically every draw must land
+        // well inside +/-6 sigma and the bulk inside +/-3 sigma.
+        let std = 1.5;
+        let mut n = NoiseSource::new(std, 11);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample()).collect();
+        let mut inside_3 = 0usize;
+        for &s in &samples {
+            assert!(s.abs() <= 6.0 * std, "sample {s} breaches the 6-sigma bound");
+            if s.abs() <= 3.0 * std {
+                inside_3 += 1;
+            }
+        }
+        let frac = inside_3 as f64 / samples.len() as f64;
+        assert!(frac > 0.995, "only {frac} of samples inside 3 sigma");
+    }
+
+    #[test]
+    fn noise_scales_linearly_with_std() {
+        // Same seed, different std: identical shapes scaled by the ratio.
+        let mut a = NoiseSource::new(1.0, 13);
+        let mut b = NoiseSource::new(2.5, 13);
+        for _ in 0..200 {
+            let x = a.sample();
+            let y = b.sample();
+            assert!((y - 2.5 * x).abs() < 1e-12, "expected {x} scaled by 2.5, got {y}");
+        }
+    }
+
+    #[test]
     fn zero_std_is_silent() {
         let mut n = NoiseSource::new(0.0, 1);
         for _ in 0..10 {

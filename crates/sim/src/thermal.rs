@@ -193,6 +193,52 @@ mod tests {
     }
 
     #[test]
+    fn throttle_has_thermal_hysteresis() {
+        // The RC mass makes throttling hysteretic in *time*: performance
+        // neither collapses the instant overload power is applied nor
+        // recovers the instant it is removed.
+        let mut t = ThermalState::new(ThermalConfig::default());
+        t.step(Watts::new(45.0), Seconds::new(1.0));
+        assert_eq!(t.performance_scale(), 1.0, "one second of overload cannot throttle yet");
+
+        // Soak to the throttled steady state (45 W -> 115 C).
+        for _ in 0..2000 {
+            t.step(Watts::new(45.0), Seconds::new(1.0));
+        }
+        let throttled = t.performance_scale();
+        assert!(throttled < 1.0);
+        let accumulated = t.throttled_time();
+
+        // Dropping to a sustainable power does not restore performance
+        // immediately: the package must first bleed stored heat.
+        t.step(Watts::new(20.0), Seconds::new(1.0));
+        assert!(
+            t.performance_scale() < 1.0,
+            "still throttled right after the power drop: {}",
+            t.performance_scale()
+        );
+        assert!(t.throttled_time() >= accumulated, "throttled time is monotone");
+
+        // Eventually the 20 W steady state (65 C) clears the throttle.
+        let mut recovery_s = 0.0;
+        while t.performance_scale() < 1.0 {
+            t.step(Watts::new(20.0), Seconds::new(1.0));
+            recovery_s += 1.0;
+            assert!(recovery_s < 5000.0, "must eventually recover");
+        }
+        assert!(recovery_s > 5.0, "recovery takes thermal time, got {recovery_s} s");
+    }
+
+    #[test]
+    fn throttled_time_only_grows_above_throttle_point() {
+        let mut t = ThermalState::new(ThermalConfig::default());
+        for _ in 0..500 {
+            t.step(Watts::new(20.0), Seconds::new(1.0)); // steady 65 C
+        }
+        assert_eq!(t.throttled_time(), Seconds::ZERO);
+    }
+
+    #[test]
     fn cooling_recovers_performance() {
         let mut t = ThermalState::new(ThermalConfig::default());
         for _ in 0..2000 {

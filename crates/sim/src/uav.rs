@@ -15,10 +15,24 @@
 //! shape the paper cites from UAV co-design studies.
 
 use crate::battery::{hover_power, Battery};
+use crate::degrade::DegradationPolicy;
+use crate::faults::FaultSchedule;
 use crate::mission::{MissionOutcome, MissionSpec};
 use crate::sensor::NoiseSource;
 use m7_units::{Grams, Hertz, Joules, Meters, MetersPerSecond, Seconds, Watts};
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Blind creep speed when perception is lost and no coast policy applies.
+const BLIND_CREEP: f64 = 0.3;
+/// Hover time for a full cold reboot of the autonomy stack after a crash.
+const COLD_BOOT_S: f64 = 12.0;
+/// Probability that one warm-restart attempt revives a crashed stack.
+const WARM_RESTART_SUCCESS: f64 = 0.7;
+/// Collision hazard per meter flown on stale (stuck-sensor) data.
+const STALE_HAZARD_PER_M: f64 = 0.004;
+/// Seed salt for the fault-event RNG, kept separate from the gust stream.
+const EVENT_SEED_SALT: u64 = 0xDE67_ADE0_5EED_0001;
 
 /// Onboard compute tiers, weakest to strongest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -270,6 +284,277 @@ impl Uav {
             replans,
         }
     }
+
+    /// Flies `mission` under a fault schedule while consulting a
+    /// [`DegradationPolicy`], deterministic in `seed`.
+    ///
+    /// This is the robustness-campaign engine behind experiment E11. On
+    /// top of the nominal closed loop it models:
+    ///
+    /// - **Compute crashes** ([`crate::faults::Fault::ComputeCrash`]): the
+    ///   stack dies and the vehicle hovers while it restarts — warm
+    ///   retries with backoff if the policy enables them, otherwise a
+    ///   full cold boot.
+    /// - **Sensor dropouts**: dead-reckoning coast at a fraction of the
+    ///   safe speed (bounded by the coast budget) if enabled, else a
+    ///   blind creep.
+    /// - **Stuck sensors**: a fault-blind vehicle flies stale frames at
+    ///   full speed and accrues collision hazard per meter; an aware
+    ///   vehicle detects staleness after the watchdog period and coasts.
+    /// - **Kernel fallback**: under brownout or battery sag, an aware
+    ///   vehicle may swap to a cheaper planner variant (lower latency and
+    ///   power, slightly worse effective sensing).
+    /// - **Battery sag**: energy is drawn at reduced delivery efficiency.
+    /// - **Message drops**: lost inter-stage messages cost retransmits,
+    ///   stretching effective reaction latency by `1 / (1 - rate)`.
+    /// - **Safe-stop**: when projected energy-to-finish exceeds what is
+    ///   left above the reserve, an aware vehicle lands under control
+    ///   instead of falling out of the sky later.
+    ///
+    /// Health monitoring is not free: an aware policy pays
+    /// [`DegradationPolicy::monitor_overhead`] on nominal reaction time.
+    #[must_use]
+    pub fn fly_degraded(
+        &self,
+        mission: &MissionSpec,
+        faults: &FaultSchedule,
+        policy: &DegradationPolicy,
+        seed: u64,
+    ) -> FaultedOutcome {
+        let dt = Seconds::new(0.02);
+        let mass = self.all_up_mass(mission);
+        let p_hover = hover_power(mass, self.config.rotor_disk_area);
+        let p_compute = self.config.tier.power();
+        let mut gusts = NoiseSource::new(mission.gust_std(), seed);
+        // Fault events (restart success, stale-data collisions) draw from
+        // their own stream so they never perturb the gust sequence.
+        let mut events = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ EVENT_SEED_SALT);
+
+        let mut crash_times: Vec<Seconds> = faults
+            .faults()
+            .iter()
+            .filter_map(|f| match f {
+                crate::faults::Fault::ComputeCrash { at } => Some(*at),
+                _ => None,
+            })
+            .collect();
+        crash_times.sort_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite crashes"));
+        let mut next_crash = 0usize;
+
+        let mut battery = Battery::new(self.config.battery);
+        let mut covered = Meters::new(0.0);
+        let mut t = Seconds::ZERO;
+        let mut replan_accumulator = 0.0;
+        let mut replans = 0u64;
+        let plan_rate = self.config.tier.plan_rate();
+        let overhead = policy.monitor_overhead();
+
+        let mut completed = false;
+        let mut crashed = false;
+        let mut safe_stopped = false;
+        let mut retries = 0u64;
+        let mut cold_boots = 0u64;
+        let mut coast_time = Seconds::ZERO;
+        let mut fallback_time = Seconds::ZERO;
+        let mut time_to_failure = None;
+        let mut degraded_latencies_s = Vec::new();
+        let mut recovering_until = Seconds::ZERO;
+
+        // Nominal cruise plan used for energy projection by safe-stop.
+        let v_plan = {
+            let t_react = self.config.tier.plan_latency() * overhead;
+            MetersPerSecond::new(self.config.sensor_range.value() / (2.0 * t_react.value()))
+                .min(self.config.max_speed)
+        };
+
+        let max_steps = 10_000_000usize;
+        for step in 0..max_steps {
+            if covered >= mission.distance() {
+                completed = true;
+                break;
+            }
+
+            // Transient compute crashes ground planning until recovered.
+            while next_crash < crash_times.len() && crash_times[next_crash] <= t {
+                next_crash += 1;
+                let mut downtime = Seconds::ZERO;
+                let mut revived = false;
+                let mut attempt = 0u32;
+                while let Some(cost) = policy.retry_cost(attempt) {
+                    downtime += cost;
+                    retries += 1;
+                    attempt += 1;
+                    if events.gen_bool(WARM_RESTART_SUCCESS) {
+                        revived = true;
+                        break;
+                    }
+                }
+                if !revived {
+                    downtime += Seconds::new(COLD_BOOT_S);
+                    cold_boots += 1;
+                }
+                let until = t + downtime;
+                recovering_until = recovering_until.max(until);
+            }
+
+            // Commanded safe-stop: land now if finishing is no longer
+            // energetically credible above the reserve.
+            if let Some(ss) = policy.safe_stop {
+                let dist_left = (mission.distance() - covered).max(Meters::new(0.0));
+                let needed = dist_left.value() / v_plan.value() * (p_hover + p_compute).value();
+                let reserve = ss.reserve_fraction * battery.capacity().value();
+                if needed > battery.remaining().value() - reserve {
+                    safe_stopped = true;
+                    break;
+                }
+            }
+
+            let recovering = t < recovering_until;
+            let mut p_compute_eff = p_compute;
+            let mut stale_exposure = false;
+            let v_cmd = if recovering {
+                p_compute_eff = p_compute * 0.2; // stack rebooting, near-idle
+                MetersPerSecond::new(0.0)
+            } else {
+                let slowdown = faults.compute_slowdown(t);
+                let sag_eff = faults.battery_efficiency(t);
+                let drop_rate = faults.message_drop_rate(t);
+                let mut range_eff = Meters::new(
+                    (self.config.sensor_range.value() - faults.sensor_bias(t)).max(0.5),
+                );
+                let mut latency = self.config.tier.plan_latency();
+                // Cheaper kernel variant: faster and frugal, slightly
+                // worse effective sensing — worth it only under stress.
+                if policy.kernel_fallback && (slowdown >= 1.5 || sag_eff < 1.0) {
+                    latency *= 0.5;
+                    p_compute_eff = p_compute * 0.35;
+                    range_eff *= 0.85;
+                    fallback_time += dt;
+                }
+                // Dropped inter-stage messages cost retransmits.
+                let retransmit = 1.0 / (1.0 - drop_rate);
+                let t_react = latency * slowdown * overhead * retransmit;
+                let v_safe = MetersPerSecond::new(range_eff.value() / (2.0 * t_react.value()))
+                    .min(self.config.max_speed);
+                if step % 25 == 0 && faults.any_active(t) {
+                    degraded_latencies_s.push(t_react.value());
+                }
+
+                if let Some(since) = faults.dropout_since(t) {
+                    match policy.coast {
+                        Some(c) if t - since < c.max_duration => {
+                            coast_time += dt;
+                            v_safe * c.speed_fraction
+                        }
+                        _ => MetersPerSecond::new(BLIND_CREEP),
+                    }
+                } else if let Some(since) = faults.stuck_since(t) {
+                    match policy.coast {
+                        // Watchdog has flagged the stale stream: coast.
+                        Some(c) if t - since >= c.detect_after => {
+                            if t - since < c.detect_after + c.max_duration {
+                                coast_time += dt;
+                                v_safe * c.speed_fraction
+                            } else {
+                                MetersPerSecond::new(BLIND_CREEP)
+                            }
+                        }
+                        // Undetected: full speed on stale frames.
+                        _ => {
+                            stale_exposure = true;
+                            v_safe
+                        }
+                    }
+                } else {
+                    v_safe
+                }
+            };
+
+            let v = (v_cmd * (1.0 + gusts.sample())).max(MetersPerSecond::new(0.0));
+
+            // Flying stale perception risks an obstacle strike.
+            if stale_exposure {
+                let p_hit = (STALE_HAZARD_PER_M * v.value() * dt.value()).clamp(0.0, 1.0);
+                if events.gen_bool(p_hit) {
+                    crashed = true;
+                    time_to_failure = Some(t);
+                    break;
+                }
+            }
+
+            let sag_eff = faults.battery_efficiency(t);
+            let p_total = Watts::new((p_hover + p_compute_eff).value() / sag_eff);
+            if !battery.draw(p_total, dt) {
+                t += dt;
+                crashed = true; // fell out of the sky, pack exhausted
+                time_to_failure = Some(t);
+                break;
+            }
+            covered += v * dt;
+            t += dt;
+            replan_accumulator += plan_rate.value() * dt.value();
+            while replan_accumulator >= 1.0 {
+                replan_accumulator -= 1.0;
+                replans += 1;
+            }
+        }
+
+        let average_speed = if t.value() > 0.0 { covered / t } else { MetersPerSecond::new(0.0) };
+        FaultedOutcome {
+            mission: MissionOutcome {
+                completed,
+                time: t,
+                energy: battery.used().min(battery.capacity()),
+                distance: covered.min(mission.distance()),
+                average_speed,
+                propulsion_power: p_hover,
+                compute_power: p_compute,
+                replans,
+            },
+            safe_stopped,
+            crashed,
+            retries,
+            cold_boots,
+            coast_time,
+            fallback_time,
+            time_to_failure,
+            degraded_latencies_s,
+        }
+    }
+}
+
+/// Outcome of a fault-injected, policy-mediated flight
+/// ([`Uav::fly_degraded`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultedOutcome {
+    /// The usual mission metrics (time, energy, distance, ...).
+    pub mission: MissionOutcome,
+    /// The vehicle commanded a controlled stop on low projected energy.
+    pub safe_stopped: bool,
+    /// The vehicle was lost: obstacle strike on stale data, or the pack
+    /// died mid-air.
+    pub crashed: bool,
+    /// Warm-restart attempts spent on compute crashes.
+    pub retries: u64,
+    /// Full cold reboots after exhausted (or absent) retry budgets.
+    pub cold_boots: u64,
+    /// Time spent coasting on dead reckoning.
+    pub coast_time: Seconds,
+    /// Time spent on the fallback kernel variant.
+    pub fallback_time: Seconds,
+    /// Mission time at which the vehicle was lost, if it was.
+    pub time_to_failure: Option<Seconds>,
+    /// Sampled effective reaction latencies (s) while any fault was
+    /// active — the degraded-mode latency distribution.
+    pub degraded_latencies_s: Vec<f64>,
+}
+
+impl FaultedOutcome {
+    /// Mission success: completed, not lost, not stopped short.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.mission.completed && !self.crashed
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +691,146 @@ mod tests {
             3,
         );
         assert!(!blinded.completed, "creeping blind at 0.3 m/s drains the battery first");
+    }
+
+    #[test]
+    fn degraded_engine_matches_nominal_when_blind_and_faultless() {
+        // With an empty schedule and the blind policy, every fault factor
+        // multiplies by exactly 1.0, so the degraded engine must replay
+        // the legacy loop bit for bit.
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(800.0);
+        let legacy = uav.fly(&mission, 11);
+        let degraded =
+            uav.fly_degraded(&mission, &FaultSchedule::none(), &DegradationPolicy::none(), 11);
+        assert_eq!(degraded.mission, legacy);
+        assert!(degraded.succeeded());
+        assert!(!degraded.crashed && !degraded.safe_stopped);
+        assert_eq!(degraded.retries, 0);
+        assert!(degraded.degraded_latencies_s.is_empty());
+    }
+
+    #[test]
+    fn awareness_taxes_the_nominal_mission() {
+        // On a perception-limited vehicle the 5% monitor overhead shows
+        // up as a slightly slower fault-free mission.
+        let mut cfg = UavConfig::default().with_tier(ComputeTier::Micro);
+        cfg.sensor_range = Meters::new(4.0);
+        let uav = Uav::new(cfg);
+        let mission = MissionSpec::survey(300.0).with_gusts(0.0);
+        let blind =
+            uav.fly_degraded(&mission, &FaultSchedule::none(), &DegradationPolicy::none(), 1);
+        let aware =
+            uav.fly_degraded(&mission, &FaultSchedule::none(), &DegradationPolicy::full(), 1);
+        assert!(blind.succeeded() && aware.succeeded());
+        assert!(
+            aware.mission.time.value() > blind.mission.time.value() * 1.02,
+            "monitoring overhead must cost time: {} vs {}",
+            aware.mission.time,
+            blind.mission.time
+        );
+    }
+
+    #[test]
+    fn coast_outruns_blind_creep_through_a_dropout() {
+        use crate::faults::Fault;
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(600.0).with_gusts(0.0);
+        let schedule = FaultSchedule::new(vec![Fault::SensorDropout {
+            start: Seconds::new(5.0),
+            duration: Seconds::new(3.0),
+        }]);
+        let blind = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::none(), 4);
+        let aware = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), 4);
+        assert!(aware.coast_time.value() > 2.0, "coast should cover the outage");
+        assert_eq!(blind.coast_time, Seconds::ZERO);
+        assert!(
+            aware.mission.time < blind.mission.time,
+            "coasting finishes sooner than creeping: {} vs {}",
+            aware.mission.time,
+            blind.mission.time
+        );
+    }
+
+    #[test]
+    fn stale_sensor_is_deadly_only_when_undetected() {
+        use crate::faults::Fault;
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(2000.0).with_gusts(0.0);
+        // A long stuck episode: the blind vehicle flies ~hundreds of
+        // meters on stale frames; the aware one detects within 0.5 s.
+        let schedule = FaultSchedule::new(vec![Fault::SensorStuck {
+            start: Seconds::new(10.0),
+            duration: Seconds::new(60.0),
+        }]);
+        let mut blind_crashes = 0;
+        let mut aware_crashes = 0;
+        for seed in 0..20 {
+            if uav.fly_degraded(&mission, &schedule, &DegradationPolicy::none(), seed).crashed {
+                blind_crashes += 1;
+            }
+            if uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), seed).crashed {
+                aware_crashes += 1;
+            }
+        }
+        assert!(
+            blind_crashes > aware_crashes,
+            "stale-data exposure must cost the blind design: {blind_crashes} vs {aware_crashes}"
+        );
+    }
+
+    #[test]
+    fn safe_stop_prevents_midair_battery_death() {
+        use crate::faults::Fault;
+        // A battery too small for the mission plus a deep sag: the blind
+        // vehicle falls out of the sky; the aware one lands on purpose.
+        let cfg = UavConfig::default().with_battery(Joules::from_watt_hours(4.0));
+        let uav = Uav::new(cfg);
+        let mission = MissionSpec::survey(4000.0).with_gusts(0.0);
+        let schedule = FaultSchedule::new(vec![Fault::BatterySag {
+            start: Seconds::ZERO,
+            duration: Seconds::new(1e6),
+            efficiency: 0.6,
+        }]);
+        let blind = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::none(), 5);
+        let aware = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), 5);
+        assert!(blind.crashed, "blind design drains the pack mid-air");
+        assert!(blind.time_to_failure.is_some());
+        assert!(aware.safe_stopped, "aware design lands under control");
+        assert!(!aware.crashed);
+    }
+
+    #[test]
+    fn retries_recover_faster_than_cold_boots() {
+        use crate::faults::Fault;
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(500.0).with_gusts(0.0);
+        let schedule = FaultSchedule::new(vec![
+            Fault::ComputeCrash { at: Seconds::new(5.0) },
+            Fault::ComputeCrash { at: Seconds::new(15.0) },
+        ]);
+        let blind = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::none(), 6);
+        let aware = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), 6);
+        assert_eq!(blind.cold_boots, 2, "no retry budget: every crash is a cold boot");
+        assert_eq!(blind.retries, 0);
+        assert!(aware.retries >= 2, "aware design attempts warm restarts");
+        assert!(
+            aware.mission.time < blind.mission.time,
+            "warm restarts beat cold boots: {} vs {}",
+            aware.mission.time,
+            blind.mission.time
+        );
+    }
+
+    #[test]
+    fn degraded_flight_is_deterministic() {
+        let uav = Uav::new(UavConfig::default());
+        let mission = MissionSpec::survey(700.0);
+        let schedule =
+            FaultSchedule::sample(&crate::faults::FaultProfile::harsh(), Seconds::new(300.0), 9);
+        let a = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), 9);
+        let b = uav.fly_degraded(&mission, &schedule, &DegradationPolicy::full(), 9);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl Challenge {
             Self::Widgetism => &[ExperimentId::E4Widgetism],
             Self::PumpTheBrakes => &[ExperimentId::E5Brakes, ExperimentId::E10Contention],
             Self::ChipsAndSalsa => &[ExperimentId::E6Platforms],
-            Self::ForestVsTrees => &[ExperimentId::E7EndToEnd],
+            Self::ForestVsTrees => &[ExperimentId::E7EndToEnd, ExperimentId::E11Robustness],
             Self::DesignGlobal => &[ExperimentId::E8Global],
         }
     }

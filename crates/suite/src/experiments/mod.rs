@@ -12,8 +12,10 @@
 //! | E8 | §2.7 Design Global | fleets rival datacenters; edge training is dirtier; chiplets save carbon |
 //! | E9 | §3.1 ML for design | surrogate-guided DSE is more sample-efficient |
 //! | E10 | §2.4 + §3.1 | accelerators contend — per-unit throughput degrades |
+//! | E11 | §2.6 | graceful degradation dominates fault-blind on mission success |
 
 pub mod e10_contention;
+pub mod e11_robustness;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -63,11 +65,13 @@ pub enum ExperimentId {
     E9Dse,
     /// E10 — shared-resource contention (Challenge 4 ablation).
     E10Contention,
+    /// E11 — robustness under injected faults (Challenge 6).
+    E11Robustness,
 }
 
 impl ExperimentId {
     /// All experiments, in paper order.
-    pub const ALL: [Self; 10] = [
+    pub const ALL: [Self; 11] = [
         Self::E1Growth,
         Self::E2Bridges,
         Self::E3Metrics,
@@ -78,6 +82,7 @@ impl ExperimentId {
         Self::E8Global,
         Self::E9Dse,
         Self::E10Contention,
+        Self::E11Robustness,
     ];
 
     /// Short identifier used in file names and bench targets.
@@ -94,6 +99,7 @@ impl ExperimentId {
             Self::E8Global => "e8_global",
             Self::E9Dse => "e9_dse",
             Self::E10Contention => "e10_contention",
+            Self::E11Robustness => "e11_robustness",
         }
     }
 
@@ -111,6 +117,9 @@ impl ExperimentId {
             Self::E8Global => "§2.7: fleet carbon, edge-vs-cloud training, chiplet reuse",
             Self::E9Dse => "§3.1: surrogate-guided DSE finds better designs in fewer samples",
             Self::E10Contention => "§2.4: accelerators are not free — shared-bus contention",
+            Self::E11Robustness => {
+                "§2.6: graceful degradation beats fault-blind designs on mission success"
+            }
         }
     }
 
@@ -138,23 +147,99 @@ impl ExperimentId {
             Self::E8Global => e8_global::run().report(),
             Self::E9Dse => e9_dse::run(seed).report(),
             Self::E10Contention => e10_contention::run().report(),
+            Self::E11Robustness => e11_robustness::run(seed).report(),
         }
     }
 }
 
-/// Runs all ten experiments one at a time, in paper order, each on its own
+/// Resolves a slug-prefix filter to experiments in paper order.
+///
+/// `None` selects every experiment. A filter that matches nothing is an
+/// error naming the known slugs, so a typo cannot silently run zero
+/// experiments — the same contract on the serial and parallel paths.
+///
+/// # Errors
+///
+/// Returns the "known slugs" message when the filter matches no slug.
+pub fn select(filter: Option<&str>) -> Result<Vec<ExperimentId>, String> {
+    let ids: Vec<ExperimentId> = match filter {
+        None => ExperimentId::ALL.to_vec(),
+        Some(f) => {
+            ExperimentId::ALL.iter().copied().filter(|id| id.slug().starts_with(f)).collect()
+        }
+    };
+    if ids.is_empty() {
+        return Err(unknown_selection_error(filter.unwrap_or("")));
+    }
+    Ok(ids)
+}
+
+/// The error for a selection that names no experiment.
+fn unknown_selection_error(filter: &str) -> String {
+    let slugs: Vec<&str> = ExperimentId::ALL.iter().map(|id| id.slug()).collect();
+    format!("no experiment slug starts with {filter:?}; known slugs: {}", slugs.join(", "))
+}
+
+/// The derived per-experiment seed: an experiment always runs on the seed
+/// of its position in paper order, whether or not the others run.
+fn experiment_seed(root_seed: u64, id: ExperimentId) -> u64 {
+    let index = ExperimentId::ALL.iter().position(|&e| e == id).expect("id is in ALL") as u64;
+    derive_seed(root_seed, index)
+}
+
+/// Runs the selected experiments one at a time, in the given order, each
+/// on the seed of its paper-order position — the serial reference for
+/// [`run_selected_parallel`].
+///
+/// # Errors
+///
+/// Returns the "known slugs" style error when `ids` is empty — an empty
+/// selection is always a caller bug, never a valid no-op.
+pub fn run_selected_serial(
+    ids: &[ExperimentId],
+    root_seed: u64,
+    timing: Timing,
+) -> Result<Vec<(ExperimentId, Report)>, String> {
+    if ids.is_empty() {
+        return Err(unknown_selection_error(""));
+    }
+    Ok(ids.iter().map(|&id| (id, id.run_with(experiment_seed(root_seed, id), timing))).collect())
+}
+
+/// Runs the selected experiments concurrently on the deterministic pool,
+/// each on the seed of its paper-order position, returning reports in the
+/// given order regardless of which finishes first.
+///
+/// With [`Timing::Modeled`] the reports are byte-identical to
+/// [`run_selected_serial`] with the same arguments at any thread count;
+/// with [`Timing::Measured`] only E6's two wall-clock numbers differ.
+///
+/// # Errors
+///
+/// Returns the same error as [`run_selected_serial`] when `ids` is empty
+/// — the parallel path must not silently accept a selection the serial
+/// path rejects.
+pub fn run_selected_parallel(
+    ids: &[ExperimentId],
+    root_seed: u64,
+    timing: Timing,
+    par: ParConfig,
+) -> Result<Vec<(ExperimentId, Report)>, String> {
+    if ids.is_empty() {
+        return Err(unknown_selection_error(""));
+    }
+    Ok(par.par_map(ids, |&id| (id, id.run_with(experiment_seed(root_seed, id), timing))))
+}
+
+/// Runs all experiments one at a time, in paper order, each on its own
 /// seed derived from `root_seed` — the serial reference for
 /// [`run_all_parallel`].
 #[must_use]
 pub fn run_all_serial(root_seed: u64, timing: Timing) -> Vec<(ExperimentId, Report)> {
-    ExperimentId::ALL
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, id.run_with(derive_seed(root_seed, i as u64), timing)))
-        .collect()
+    run_selected_serial(&ExperimentId::ALL, root_seed, timing).expect("ALL is never empty")
 }
 
-/// Runs all ten experiments concurrently on the deterministic pool, each
+/// Runs all experiments concurrently on the deterministic pool, each
 /// on its own seed derived from `root_seed`, returning reports in paper
 /// order regardless of which experiment finishes first.
 ///
@@ -167,9 +252,7 @@ pub fn run_all_parallel(
     timing: Timing,
     par: ParConfig,
 ) -> Vec<(ExperimentId, Report)> {
-    let indexed: Vec<(usize, ExperimentId)> =
-        ExperimentId::ALL.iter().copied().enumerate().collect();
-    par.par_map(&indexed, |&(i, id)| (id, id.run_with(derive_seed(root_seed, i as u64), timing)))
+    run_selected_parallel(&ExperimentId::ALL, root_seed, timing, par).expect("ALL is never empty")
 }
 
 impl core::fmt::Display for ExperimentId {
@@ -203,5 +286,40 @@ mod tests {
         let reports = run_all_parallel(42, Timing::Modeled, ParConfig::default());
         let ids: Vec<ExperimentId> = reports.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids, ExperimentId::ALL);
+    }
+
+    #[test]
+    fn select_resolves_prefixes_and_defaults_to_all() {
+        assert_eq!(select(None).unwrap(), ExperimentId::ALL.to_vec());
+        assert_eq!(select(Some("e5")).unwrap(), vec![ExperimentId::E5Brakes]);
+        // "e1" prefixes e1, e10, and e11.
+        assert_eq!(
+            select(Some("e1")).unwrap(),
+            vec![ExperimentId::E1Growth, ExperimentId::E10Contention, ExperimentId::E11Robustness]
+        );
+    }
+
+    #[test]
+    fn unknown_selection_errors_name_the_slugs() {
+        let err = select(Some("e99")).unwrap_err();
+        assert!(err.contains("no experiment slug starts with \"e99\""), "got {err}");
+        assert!(err.contains("e11_robustness"), "error must list known slugs: {err}");
+    }
+
+    #[test]
+    fn empty_selection_errs_identically_on_serial_and_parallel_paths() {
+        let serial = run_selected_serial(&[], 42, Timing::Modeled).unwrap_err();
+        let parallel =
+            run_selected_parallel(&[], 42, Timing::Modeled, ParConfig::default()).unwrap_err();
+        assert_eq!(serial, parallel, "both paths must reject an empty selection the same way");
+        assert!(serial.contains("known slugs"), "got {serial}");
+    }
+
+    #[test]
+    fn single_selection_keeps_its_full_run_seed() {
+        let full = run_all_serial(42, Timing::Modeled);
+        let solo = run_selected_serial(&[ExperimentId::E5Brakes], 42, Timing::Modeled).unwrap();
+        let full_e5 = &full.iter().find(|(id, _)| *id == ExperimentId::E5Brakes).unwrap().1;
+        assert_eq!(solo[0].1.to_string(), full_e5.to_string());
     }
 }

@@ -1,0 +1,56 @@
+//! Runs a fault-injection campaign over the E11 vehicle and prints the
+//! robustness comparison: nominal vs. fault-blind vs. degradation-aware.
+//!
+//! Run with: `cargo run --release --example fault_campaign [--runs N] [--seed S]`
+//!
+//! `--runs` sets the Monte-Carlo draws per design arm (default 32; CI
+//! smoke-tests with a reduced N). The campaign fans runs across the
+//! deterministic pool (`M7_THREADS`), and the report is byte-identical
+//! at any thread count for the same seed.
+
+use magseven::suite::experiments::e11_robustness;
+
+fn main() {
+    let mut runs = 32usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--runs needs a positive integer");
+                    std::process::exit(2);
+                };
+                runs = v;
+            }
+            "--seed" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--seed needs an integer");
+                    std::process::exit(2);
+                };
+                seed = v;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if runs == 0 {
+        eprintln!("--runs must be at least 1");
+        std::process::exit(2);
+    }
+
+    let result = e11_robustness::run_with_runs(seed, runs);
+    println!("{}", result.report());
+    eprintln!(
+        "aware {:.3} vs blind {:.3} mission success over {} shared fault draws",
+        result.degradation_aware().success_rate(),
+        result.fault_blind().success_rate(),
+        runs
+    );
+}

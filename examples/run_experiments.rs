@@ -1,10 +1,10 @@
-//! Regenerates every paper-anchored experiment (E1-E10) and prints the
+//! Regenerates every paper-anchored experiment (E1-E11) and prints the
 //! full reports — the repository's equivalent of rebuilding all of the
 //! paper's figures in one command.
 //!
 //! Run with: `cargo run --release --example run_experiments [flags] [e5]`
 //!
-//! By default the ten experiments run **concurrently** on the
+//! By default the eleven experiments run **concurrently** on the
 //! deterministic pool (thread count from `M7_THREADS`, else all cores)
 //! with cost-modeled E6 build times, so the output is byte-identical to
 //! the serial run for the same seed. Flags:
@@ -14,10 +14,11 @@
 //! - `--measured` — time E6's roadmap builds on the host wall clock
 //!   instead of the cost models (numbers vary run to run).
 //!
-//! A non-flag argument selects a single experiment by slug prefix.
+//! A non-flag argument selects experiments by slug prefix; a prefix that
+//! matches nothing is an error on both the serial and parallel paths.
 
-use magseven::par::{derive_seed, ParConfig};
-use magseven::suite::experiments::{run_all_parallel, run_all_serial, ExperimentId, Timing};
+use magseven::par::ParConfig;
+use magseven::suite::experiments::{run_selected_parallel, run_selected_serial, select, Timing};
 
 fn main() {
     let mut serial = false;
@@ -32,29 +33,28 @@ fn main() {
     }
     let seed = 42;
 
-    let reports = if let Some(f) = &filter {
-        // A single experiment keeps its full-run seed (its paper index).
-        ExperimentId::ALL
-            .iter()
-            .enumerate()
-            .filter(|(_, id)| id.slug().starts_with(f.as_str()))
-            .map(|(i, &id)| (id, id.run_with(derive_seed(seed, i as u64), timing)))
-            .collect()
-    } else if serial {
-        run_all_serial(seed, timing)
+    // An experiment always runs on the seed of its paper-order position,
+    // so a filtered run reproduces the corresponding full-run reports.
+    let ids = match select(filter.as_deref()) {
+        Ok(ids) => ids,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    let reports = if serial {
+        run_selected_serial(&ids, seed, timing)
     } else {
-        run_all_parallel(seed, timing, ParConfig::default())
+        run_selected_parallel(&ids, seed, timing, ParConfig::default())
+    };
+    let reports = match reports {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
     };
 
-    if reports.is_empty() {
-        let slugs: Vec<&str> = ExperimentId::ALL.iter().map(|id| id.slug()).collect();
-        eprintln!(
-            "no experiment slug starts with {:?}; known slugs: {}",
-            filter.as_deref().unwrap_or(""),
-            slugs.join(", ")
-        );
-        std::process::exit(2);
-    }
     for (id, report) in reports {
         eprintln!("ran {} — {}", id.slug(), id.description());
         println!("{report}");

@@ -13,7 +13,7 @@
 //! - [`sim`] — end-to-end closed-loop simulator ([`m7_sim`])
 //! - [`dse`] — design-space exploration ([`m7_dse`])
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
-//! - [`suite`] — benchmark suite and experiments E1..E10 ([`m7_suite`])
+//! - [`suite`] — benchmark suite and experiments E1..E11 ([`m7_suite`])
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
 //!
 //! ## Quickstart
@@ -69,6 +69,9 @@ pub mod prelude {
     };
     pub use m7_par::ParConfig;
     pub use m7_sim::{
+        campaign::{CampaignConfig, CampaignRunner, RobustnessReport},
+        degrade::DegradationPolicy,
+        faults::{Fault, FaultProfile, FaultSchedule},
         mission::{MissionOutcome, MissionSpec},
         rover::{Rover, RoverConfig},
         thermal::{ThermalConfig, ThermalState},

@@ -1,0 +1,118 @@
+//! Property tests for the fault-injection layer: interval arithmetic,
+//! outage merging, sampler invariants, and campaign thread-invariance,
+//! each checked over hundreds of sampled schedules rather than a few
+//! hand-picked ones.
+
+use magseven::par::ParConfig;
+use magseven::prelude::*;
+use proptest::prelude::*;
+
+fn harsh_schedule(seed: u64) -> FaultSchedule {
+    FaultSchedule::sample(&FaultProfile::harsh(), Seconds::new(300.0), seed)
+}
+
+proptest! {
+    /// `active_at` is exactly the half-open interval test on
+    /// `interval()`, for every fault kind the sampler can draw —
+    /// including the degenerate zero-length crash window, which is
+    /// never "active".
+    #[test]
+    fn active_at_agrees_with_interval_arithmetic(seed in 0u64..1 << 48, t in -10.0..400.0f64) {
+        let t = Seconds::new(t);
+        for fault in harsh_schedule(seed).faults() {
+            let (start, end) = fault.interval();
+            prop_assert!(start <= end, "interval must be ordered: {fault:?}");
+            prop_assert_eq!(
+                fault.active_at(t),
+                t >= start && t < end,
+                "{:?} at t={:?}", fault, t
+            );
+            if let Fault::ComputeCrash { .. } = fault {
+                prop_assert!(!fault.active_at(start), "point events are never active");
+            }
+        }
+    }
+
+    /// `merged_sensor_outages` is the exact union of the dropout and
+    /// stuck windows: sorted, disjoint, and membership-equivalent to
+    /// "some perception-degrading fault is active".
+    #[test]
+    fn merged_outages_are_the_exact_union(seed in 0u64..1 << 48, t in 0.0..320.0f64) {
+        let schedule = harsh_schedule(seed);
+        let merged = schedule.merged_sensor_outages();
+        for pair in merged.windows(2) {
+            prop_assert!(
+                pair[0].1 < pair[1].0,
+                "merged windows must be sorted and disjoint: {pair:?}"
+            );
+        }
+        let t = Seconds::new(t);
+        let in_union = merged.iter().any(|&(s, e)| t >= s && t < e);
+        let raw_active = schedule.faults().iter().any(|f| {
+            matches!(f, Fault::SensorDropout { .. } | Fault::SensorStuck { .. })
+                && f.active_at(t)
+        });
+        prop_assert_eq!(in_union, raw_active, "union membership must match raw faults at {:?}", t);
+        let raw_total: f64 = schedule
+            .faults()
+            .iter()
+            .filter(|f| matches!(f, Fault::SensorDropout { .. } | Fault::SensorStuck { .. }))
+            .map(|f| { let (s, e) = f.interval(); (e - s).value() })
+            .sum();
+        let merged_total: f64 = merged.iter().map(|&(s, e)| (e - s).value()).sum();
+        prop_assert!(
+            merged_total <= raw_total + 1e-9,
+            "coalescing can only shrink covered time: {merged_total} > {raw_total}"
+        );
+    }
+
+    /// The sampler's output is always a valid schedule: sorted by onset,
+    /// every window inside `[0, horizon)`, and every severity parameter
+    /// inside the range `FaultSchedule::new` enforces.
+    #[test]
+    fn sampled_schedules_are_sorted_and_in_range(seed in 0u64..1 << 48, horizon in 30.0..300.0f64) {
+        let horizon = Seconds::new(horizon);
+        let schedule = FaultSchedule::sample(&FaultProfile::harsh(), horizon, seed);
+        let onsets: Vec<f64> = schedule.faults().iter().map(|f| f.interval().0.value()).collect();
+        for pair in onsets.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "onsets must be sorted: {onsets:?}");
+        }
+        for fault in schedule.faults() {
+            let (start, end) = fault.interval();
+            prop_assert!(start >= Seconds::ZERO && start < horizon, "onset in horizon: {fault:?}");
+            prop_assert!(end.value().is_finite() && end >= start);
+            match *fault {
+                Fault::SensorBias { bias_m, .. } => prop_assert!(bias_m >= 0.0),
+                Fault::ComputeBrownout { slowdown, .. } => prop_assert!(slowdown >= 1.0),
+                Fault::BatterySag { efficiency, .. } => {
+                    prop_assert!(efficiency > 0.0 && efficiency <= 1.0);
+                }
+                Fault::MessageDrop { drop_rate, .. } => {
+                    prop_assert!((0.0..1.0).contains(&drop_rate));
+                }
+                _ => {}
+            }
+        }
+        // Re-sampling the same (profile, horizon, seed) is bit-identical.
+        prop_assert_eq!(
+            &schedule,
+            &FaultSchedule::sample(&FaultProfile::harsh(), horizon, seed)
+        );
+    }
+
+    /// A campaign aggregates to the same report on the serial path and
+    /// on an 8-thread pool, for any root seed — the contract that lets
+    /// E11 fan out across `M7_THREADS` without changing a byte.
+    #[test]
+    fn campaigns_are_thread_count_invariant(seed in 0u64..1 << 48) {
+        let runner = CampaignRunner::new(
+            Uav::new(UavConfig::default()),
+            MissionSpec::survey(150.0),
+            DegradationPolicy::full(),
+            CampaignConfig::new(3, FaultProfile::harsh(), Seconds::new(60.0)),
+        );
+        let serial = runner.run(seed, &ParConfig::serial());
+        let pooled = runner.run(seed, &ParConfig::with_threads(8));
+        prop_assert_eq!(serial, pooled, "campaign must not depend on thread count");
+    }
+}
