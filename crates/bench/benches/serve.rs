@@ -1,0 +1,158 @@
+//! Benchmarks for the evaluation-serving layer (`m7-serve`): the cache's
+//! hit path vs. miss path, the batched memoizer over warm and cold
+//! caches, and end-to-end loopback-service throughput.
+//!
+//! The hit path is a key hash + one shard lock; the miss path adds the
+//! objective plus an insert (possibly an eviction). The service target
+//! measures the whole TCP round-trip — parse, batch, cache, respond —
+//! so its per-request time is dominated by loopback syscalls, not the
+//! evaluator.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use m7_bench::BENCH_SEED;
+use m7_par::ParConfig;
+use m7_serve::batch::evaluate_batch_memo;
+use m7_serve::cache::EvalCache;
+use m7_serve::key::{namespace, EvalRequest};
+use m7_serve::server::{EvalClient, EvalServer, ServeConfig};
+use m7_serve::wire::Response;
+
+/// The benched objective: cheap but not free, so cache hits are visibly
+/// cheaper than misses without the miss path timing a synthetic stall.
+fn objective(request: &EvalRequest) -> Result<f64, String> {
+    let mut acc = request.seed as f64 * 0.125;
+    for (i, v) in request.values.iter().enumerate() {
+        acc = (acc * 0.5 + v * (i as f64 + 1.0)).sqrt() + 1.0;
+    }
+    Ok(acc)
+}
+
+fn requests(n: usize) -> Vec<EvalRequest> {
+    (0..n)
+        .map(|i| EvalRequest::new("poly", vec![i as f64, i as f64 * 0.25 + 1.0], BENCH_SEED))
+        .collect()
+}
+
+/// Cache hit path vs. miss path, per lookup.
+fn bench_cache_paths(c: &mut Criterion) {
+    let ns = namespace("bench", BENCH_SEED);
+    let reqs = requests(1024);
+    let keys: Vec<_> = reqs.iter().map(|r| r.cache_key(ns)).collect();
+
+    let mut group = c.benchmark_group("serve_cache_path");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+
+    group.bench_function("hit", |b| {
+        let cache: EvalCache<f64> = EvalCache::new(2048);
+        for (key, req) in keys.iter().zip(&reqs) {
+            cache.insert(*key, objective(req).expect("pure"));
+        }
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for key in &keys {
+                acc += cache.get(*key).expect("warm cache");
+            }
+            acc
+        })
+    });
+
+    group.bench_function("miss", |b| {
+        b.iter(|| {
+            // A fresh cold cache per pass: every lookup misses, computes,
+            // and inserts.
+            let cache: EvalCache<f64> = EvalCache::new(2048);
+            let mut acc = 0.0f64;
+            for (key, req) in keys.iter().zip(&reqs) {
+                acc += cache.get_or_insert_with(*key, || objective(req).expect("pure")).0;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// The batched memoizer over a duplicate-heavy batch, cold vs. warm.
+fn bench_batched_memo(c: &mut Criterion) {
+    let ns = namespace("bench", BENCH_SEED);
+    // 512 slots over 128 distinct points: 4x duplication, the shape a
+    // converging GA generation produces.
+    let batch: Vec<EvalRequest> = (0..512)
+        .map(|i| {
+            EvalRequest::new("poly", vec![(i % 128) as f64, (i % 128) as f64 * 0.25], BENCH_SEED)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("serve_batched_memo");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("cold", threads), &threads, |b, &threads| {
+            let par = ParConfig::with_threads(threads);
+            b.iter(|| {
+                let cache: EvalCache<f64> = EvalCache::new(4096);
+                let (results, _) = evaluate_batch_memo(
+                    &cache,
+                    par,
+                    &batch,
+                    |r| r.cache_key(ns),
+                    |r| objective(r).expect("pure"),
+                );
+                results.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", threads), &threads, |b, &threads| {
+            let par = ParConfig::with_threads(threads);
+            let cache: EvalCache<f64> = EvalCache::new(4096);
+            let (_, _) = evaluate_batch_memo(
+                &cache,
+                par,
+                &batch,
+                |r| r.cache_key(ns),
+                |r| objective(r).expect("pure"),
+            );
+            b.iter(|| {
+                let (results, _) = evaluate_batch_memo(
+                    &cache,
+                    par,
+                    &batch,
+                    |r| r.cache_key(ns),
+                    |r| objective(r).expect("pure"),
+                );
+                results.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end loopback service throughput: one client, sequential
+/// requests, duplicate-heavy traffic.
+fn bench_service_round_trip(c: &mut Criterion) {
+    let config = ServeConfig { io_timeout: Duration::from_secs(10), ..ServeConfig::default() };
+    let handle = EvalServer::spawn(config, Arc::new(objective)).expect("bind loopback server");
+    let client = EvalClient::new(handle.addr()).with_timeout(Duration::from_secs(10));
+    let traffic: Vec<EvalRequest> = (0..32).map(|i| requests(8)[i % 8].clone()).collect::<Vec<_>>();
+
+    let mut group = c.benchmark_group("serve_round_trip");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traffic.len() as u64));
+    group.bench_function("loopback_32_requests", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for request in &traffic {
+                match client.eval(request).expect("round-trip") {
+                    Response::Cost { cost, .. } => acc += cost,
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_cache_paths, bench_batched_memo, bench_service_round_trip);
+criterion_main!(benches);

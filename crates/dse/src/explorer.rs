@@ -8,6 +8,7 @@
 //! for any thread count, so a search seeded with `s` returns the same
 //! [`SearchResult`] at `M7_THREADS=1` and `M7_THREADS=64`.
 
+use crate::memo::{dedup_indices, EvalMemo};
 use crate::space::{DesignSpace, PointIndex};
 use crate::surrogate::Forest;
 use m7_par::ParConfig;
@@ -170,15 +171,62 @@ impl Explorer {
         seed: u64,
         par: ParConfig,
     ) -> SearchResult {
+        self.run_inner(space, objective, budget, seed, par, None)
+    }
+
+    /// Runs the search with objective evaluations memoized through a
+    /// content-addressed cache.
+    ///
+    /// The returned [`SearchResult`] is **bit-identical** to
+    /// [`Explorer::run_with`] for the same arguments — objectives are
+    /// pure, so the cache changes only how many times the objective is
+    /// invoked (read the savings off `memo.cache().stats()`). Successive
+    /// searches sharing one memo (as in experiment E9) reuse each
+    /// other's evaluations.
+    #[must_use]
+    pub fn run_memoized(
+        &self,
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        par: ParConfig,
+        memo: &EvalMemo<'_>,
+    ) -> SearchResult {
+        self.run_inner(space, objective, budget, seed, par, Some(memo))
+    }
+
+    fn run_inner(
+        &self,
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        budget: SearchBudget,
+        seed: u64,
+        par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
+    ) -> SearchResult {
         match self {
-            Self::Exhaustive => Self::run_exhaustive(space, objective, budget, par),
-            Self::Random => Self::run_random(space, objective, budget, seed, par),
-            Self::Annealing { initial_temperature, cooling } => {
-                Self::run_annealing(space, objective, budget, seed, *initial_temperature, *cooling)
-            }
-            Self::Genetic { population, mutation_rate } => {
-                Self::run_genetic(space, objective, budget, seed, *population, *mutation_rate, par)
-            }
+            Self::Exhaustive => Self::run_exhaustive(space, objective, budget, par, memo),
+            Self::Random => Self::run_random(space, objective, budget, seed, par, memo),
+            Self::Annealing { initial_temperature, cooling } => Self::run_annealing(
+                space,
+                objective,
+                budget,
+                seed,
+                *initial_temperature,
+                *cooling,
+                memo,
+            ),
+            Self::Genetic { population, mutation_rate } => Self::run_genetic(
+                space,
+                objective,
+                budget,
+                seed,
+                *population,
+                *mutation_rate,
+                par,
+                memo,
+            ),
             Self::SurrogateGuided { warmup, candidates, kappa } => Self::run_surrogate(
                 space,
                 objective,
@@ -188,22 +236,57 @@ impl Explorer {
                 *candidates,
                 *kappa,
                 par,
+                memo,
             ),
         }
     }
 
-    /// Evaluates a batch of points through the deterministic pool.
+    /// Evaluates a batch of points through the deterministic pool,
+    /// dispatching each *distinct* design exactly once.
     ///
-    /// Each design's cost lands in the slot of its input index — no
-    /// shared accumulator, no lock, and the output is identical to the
-    /// serial `points.iter().map(...)` loop for any thread count.
+    /// Duplicate genotypes within the batch (common in late GA
+    /// generations) are coalesced onto the first occurrence before
+    /// dispatch; with a memo, previously seen designs are answered from
+    /// the cache. Each design's cost still lands in the slot of its
+    /// input index, so the output is identical to the serial
+    /// `points.iter().map(...)` loop for any thread count, with or
+    /// without the cache.
     fn evaluate_batch(
         space: &DesignSpace,
         objective: &dyn Objective,
         points: &[PointIndex],
         par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
     ) -> Vec<f64> {
-        par.par_map(points, |p| objective.evaluate(&space.values(p)))
+        let (unique, assign) = dedup_indices(points);
+        let unique_costs: Vec<f64> = match memo {
+            None => par.par_map(&unique, |&i| objective.evaluate(&space.values(&points[i]))),
+            Some(memo) => {
+                let (costs, _) = m7_serve::batch::evaluate_batch_memo(
+                    memo.cache(),
+                    par,
+                    &unique,
+                    |&i| memo.key(&space.values(&points[i])),
+                    |&i| objective.evaluate(&space.values(&points[i])),
+                );
+                costs
+            }
+        };
+        assign.into_iter().map(|u| unique_costs[u]).collect()
+    }
+
+    /// Evaluates one point, through the memo when present.
+    fn eval_one(
+        space: &DesignSpace,
+        objective: &dyn Objective,
+        point: &[usize],
+        memo: Option<&EvalMemo<'_>>,
+    ) -> f64 {
+        let values = space.values(point);
+        match memo {
+            None => objective.evaluate(&values),
+            Some(memo) => memo.cost_or_insert_with(&values, || objective.evaluate(&values)),
+        }
     }
 
     fn collect(points: Vec<PointIndex>, costs: Vec<f64>, space: &DesignSpace) -> SearchResult {
@@ -231,10 +314,11 @@ impl Explorer {
         objective: &dyn Objective,
         budget: SearchBudget,
         par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
         let mut points = space.enumerate();
         points.truncate(budget.max_evaluations);
-        let costs = Self::evaluate_batch(space, objective, &points, par);
+        let costs = Self::evaluate_batch(space, objective, &points, par, memo);
         Self::collect(points, costs, space)
     }
 
@@ -244,11 +328,12 @@ impl Explorer {
         budget: SearchBudget,
         seed: u64,
         par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let points: Vec<PointIndex> =
             (0..budget.max_evaluations).map(|_| space.sample(&mut rng)).collect();
-        let costs = Self::evaluate_batch(space, objective, &points, par);
+        let costs = Self::evaluate_batch(space, objective, &points, par, memo);
         Self::collect(points, costs, space)
     }
 
@@ -259,17 +344,18 @@ impl Explorer {
         seed: u64,
         t0: f64,
         cooling: f64,
+        memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let mut current = space.sample(&mut rng);
-        let mut current_cost = objective.evaluate(&space.values(&current));
+        let mut current_cost = Self::eval_one(space, objective, &current, memo);
         let mut best = current.clone();
         let mut best_cost = current_cost;
         let mut trace = vec![best_cost];
         let mut temperature = t0 * current_cost.abs().max(1e-9);
         for _ in 1..budget.max_evaluations {
             let candidate = space.neighbor(&current, &mut rng);
-            let cost = objective.evaluate(&space.values(&candidate));
+            let cost = Self::eval_one(space, objective, &candidate, memo);
             let accept = cost <= current_cost || {
                 let delta = cost - current_cost;
                 rng.gen_bool((-delta / temperature.max(1e-12)).exp().clamp(0.0, 1.0))
@@ -310,12 +396,13 @@ impl Explorer {
         population: usize,
         mutation_rate: f64,
         par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
         let population = population.max(2).min(budget.max_evaluations);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
 
         let seeds: Vec<PointIndex> = (0..population).map(|_| space.sample(&mut rng)).collect();
-        let seed_costs = Self::evaluate_batch(space, objective, &seeds, par);
+        let seed_costs = Self::evaluate_batch(space, objective, &seeds, par, memo);
         let mut pool: Vec<(PointIndex, f64)> = seeds.into_iter().zip(seed_costs).collect();
 
         let mut trace: Vec<f64> = Vec::with_capacity(budget.max_evaluations);
@@ -350,7 +437,7 @@ impl Explorer {
                 })
                 .collect();
 
-            let costs = Self::evaluate_batch(space, objective, &children, par);
+            let costs = Self::evaluate_batch(space, objective, &children, par, memo);
 
             // Fold children back in deterministic index order.
             for (child, cost) in children.into_iter().zip(costs) {
@@ -395,6 +482,7 @@ impl Explorer {
         candidates: usize,
         kappa: f64,
         par: ParConfig,
+        memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let warmup = warmup.clamp(2, budget.max_evaluations);
@@ -406,7 +494,10 @@ impl Explorer {
                      trace: &mut Vec<f64>,
                      best_so_far: &mut f64| {
             let values = space.values(&point);
-            let cost = objective.evaluate(&values);
+            let cost = match memo {
+                None => objective.evaluate(&values),
+                Some(memo) => memo.cost_or_insert_with(&values, || objective.evaluate(&values)),
+            };
             *best_so_far = best_so_far.min(cost);
             trace.push(*best_so_far);
             evaluated.push((point, values, cost));
@@ -546,6 +637,93 @@ mod tests {
             let b = explorer.run(&space, &rugged, SearchBudget::new(50), 9);
             assert_eq!(a, b, "{}", explorer.name());
         }
+    }
+
+    #[test]
+    fn memoized_results_are_bit_identical_to_unmemoized() {
+        use m7_serve::cache::EvalCache;
+        use m7_serve::key::namespace;
+
+        let space = grid_space(16);
+        let budget = SearchBudget::new(60);
+        for explorer in [
+            Explorer::Exhaustive,
+            Explorer::Random,
+            Explorer::annealing(),
+            Explorer::genetic(),
+            Explorer::surrogate(),
+        ] {
+            let plain = explorer.run(&space, &rugged, budget, 11);
+            let cache = EvalCache::new(4096);
+            let memo = EvalMemo::new(&cache, namespace("rugged", 11));
+            let memoized =
+                explorer.run_memoized(&space, &rugged, budget, 11, ParConfig::default(), &memo);
+            assert_eq!(plain, memoized, "{} diverged under memoization", explorer.name());
+            // A bitwise check on the trace, not just PartialEq.
+            let identical =
+                plain.trace.iter().zip(&memoized.trace).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "{} trace diverged bitwise", explorer.name());
+        }
+    }
+
+    #[test]
+    fn memoized_rerun_invokes_the_objective_strictly_less() {
+        use m7_serve::cache::EvalCache;
+        use m7_serve::key::namespace;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let space = grid_space(8);
+        let budget = SearchBudget::new(50);
+        let calls = AtomicUsize::new(0);
+        let counting = |v: &[f64]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            rugged(v)
+        };
+
+        let baseline = Explorer::genetic().run(&space, &counting, budget, 3);
+        let uncached_calls = calls.swap(0, Ordering::Relaxed);
+
+        let cache = EvalCache::new(4096);
+        let memo = EvalMemo::new(&cache, namespace("rugged", 3));
+        // Warm the cache with the exhaustive sweep, as E9 does.
+        let _ = Explorer::Exhaustive.run_memoized(
+            &space,
+            &counting,
+            SearchBudget::new(space.cardinality()),
+            3,
+            ParConfig::default(),
+            &memo,
+        );
+        calls.store(0, Ordering::Relaxed);
+        let memoized = Explorer::genetic().run_memoized(
+            &space,
+            &counting,
+            budget,
+            3,
+            ParConfig::default(),
+            &memo,
+        );
+        let cached_calls = calls.load(Ordering::Relaxed);
+        assert_eq!(baseline, memoized);
+        assert_eq!(cached_calls, 0, "a warm cache answers every design");
+        assert!(uncached_calls > 0);
+        assert!(cache.stats().hits > 0, "savings must be visible in the counters");
+    }
+
+    #[test]
+    fn duplicate_genotypes_are_dispatched_once_per_batch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A 1-point-wide space forces every sample to the same genotype:
+        // any batch is 100% duplicates.
+        let space = DesignSpace::new(vec![Dimension::new("only", vec![1.0])]);
+        let calls = AtomicUsize::new(0);
+        let counting = |_: &[f64]| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            0.0
+        };
+        let r = Explorer::Random.run(&space, &counting, SearchBudget::new(30), 0);
+        assert_eq!(r.evaluations, 30, "budget accounting is unchanged by dedup");
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "one dispatch for 30 identical designs");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod explorer;
+pub mod memo;
 pub mod moga;
 pub mod pareto;
 pub mod space;

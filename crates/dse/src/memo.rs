@@ -1,0 +1,141 @@
+//! Memoized objective evaluation for search strategies.
+//!
+//! [`EvalMemo`] binds an [`EvalCache`] to a key namespace (one objective
+//! function at one root seed), so that [`Explorer`](crate::explorer::Explorer)
+//! runs — and successive runs sharing a cache, like E9's five strategies
+//! over the same mission objective — stop re-scoring duplicate designs.
+//!
+//! Because objectives are pure, memoization never changes a result: a
+//! memoized search returns a [`SearchResult`](crate::explorer::SearchResult)
+//! bit-identical to the unmemoized one, it just invokes the objective
+//! fewer times.
+
+use crate::space::PointIndex;
+use m7_serve::cache::EvalCache;
+use m7_serve::key::{CacheKey, KeyHasher};
+
+/// A cache handle scoped to one objective: keys mix the namespace with
+/// the design's concrete values (bit-exact, via `to_bits`).
+///
+/// # Examples
+///
+/// ```
+/// use m7_dse::memo::EvalMemo;
+/// use m7_serve::cache::EvalCache;
+/// use m7_serve::key::namespace;
+///
+/// let cache = EvalCache::new(1024);
+/// let memo = EvalMemo::new(&cache, namespace("my-objective", 42));
+/// assert_eq!(memo.key(&[1.0, 2.0]), memo.key(&[1.0, 2.0]));
+/// assert_ne!(memo.key(&[1.0, 2.0]), memo.key(&[1.0, 2.5]));
+/// ```
+#[derive(Clone, Copy)]
+pub struct EvalMemo<'a> {
+    cache: &'a EvalCache<f64>,
+    namespace: u64,
+}
+
+impl<'a> EvalMemo<'a> {
+    /// Binds `cache` under `namespace` (derive one with
+    /// [`m7_serve::key::namespace`]).
+    #[must_use]
+    pub fn new(cache: &'a EvalCache<f64>, namespace: u64) -> Self {
+        Self { cache, namespace }
+    }
+
+    /// The content-addressed key for a design's concrete values.
+    #[must_use]
+    pub fn key(&self, values: &[f64]) -> CacheKey {
+        let mut h = KeyHasher::new();
+        h.write_u64(self.namespace);
+        h.write_f64_slice(values);
+        h.finish()
+    }
+
+    /// The underlying cache.
+    #[must_use]
+    pub fn cache(&self) -> &'a EvalCache<f64> {
+        self.cache
+    }
+
+    /// Returns the memoized cost of `values`, computing and storing it on
+    /// a miss.
+    pub fn cost_or_insert_with(&self, values: &[f64], compute: impl FnOnce() -> f64) -> f64 {
+        self.cache.get_or_insert_with(self.key(values), compute).0
+    }
+}
+
+impl core::fmt::Debug for EvalMemo<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EvalMemo").field("namespace", &self.namespace).finish()
+    }
+}
+
+/// Coalesces duplicate design points within one evaluation batch.
+///
+/// Returns `(unique, assign)` where `unique` holds the index of the
+/// first occurrence of each distinct point (in first-seen order, so the
+/// mapping is deterministic and insertion-order stable) and
+/// `assign[i]` is the position in `unique` owning point `i`'s result.
+/// Population scoring uses this so a GA generation never dispatches the
+/// same genotype twice in one batch — independent of any cache.
+#[must_use]
+pub fn dedup_indices(points: &[PointIndex]) -> (Vec<usize>, Vec<usize>) {
+    let mut first: std::collections::HashMap<&[usize], usize> = std::collections::HashMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    let mut assign: Vec<usize> = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        let pos = match first.get(p.as_slice()) {
+            Some(&pos) => pos,
+            None => {
+                let pos = unique.len();
+                first.insert(p.as_slice(), pos);
+                unique.push(i);
+                pos
+            }
+        };
+        assign.push(pos);
+    }
+    (unique, assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_maps_every_slot_to_its_first_occurrence() {
+        let points: Vec<PointIndex> =
+            vec![vec![0, 1], vec![2, 2], vec![0, 1], vec![3, 0], vec![2, 2], vec![0, 1]];
+        let (unique, assign) = dedup_indices(&points);
+        assert_eq!(unique, vec![0, 1, 3]);
+        assert_eq!(assign, vec![0, 1, 0, 2, 1, 0]);
+        // Reconstruction covers every slot.
+        for (i, &u) in assign.iter().enumerate() {
+            assert_eq!(points[unique[u]], points[i]);
+        }
+    }
+
+    #[test]
+    fn dedup_of_distinct_points_is_identity() {
+        let points: Vec<PointIndex> = (0..5).map(|i| vec![i]).collect();
+        let (unique, assign) = dedup_indices(&points);
+        assert_eq!(unique, vec![0, 1, 2, 3, 4]);
+        assert_eq!(assign, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dedup_of_empty_batch() {
+        let (unique, assign) = dedup_indices(&[]);
+        assert!(unique.is_empty() && assign.is_empty());
+    }
+
+    #[test]
+    fn memo_returns_cached_cost_without_recompute() {
+        let cache = EvalCache::new(16);
+        let memo = EvalMemo::new(&cache, 7);
+        assert_eq!(memo.cost_or_insert_with(&[1.0], || 5.0), 5.0);
+        assert_eq!(memo.cost_or_insert_with(&[1.0], || unreachable!("cached")), 5.0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -5,6 +5,7 @@
 //! [`nsga2`] evolves a whole latency/energy/area front at once — the
 //! honest output for accelerator design studies (paper Challenge 2).
 
+use crate::memo::dedup_indices;
 use crate::pareto::pareto_front;
 use crate::space::{DesignSpace, PointIndex};
 use m7_par::ParConfig;
@@ -133,8 +134,13 @@ pub fn nsga2_with(
 ) -> Vec<FrontMember> {
     assert!(population >= 4, "population must be at least 4");
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    // Duplicate genotypes within a generation (common once the front
+    // converges) are scored once and the vector is scattered back — the
+    // returned batch is identical, only fewer objective calls run.
     let evaluate_batch = |ps: &[PointIndex]| -> Vec<Vec<f64>> {
-        par.par_map(ps, |p| objective.evaluate(&space.values(p)))
+        let (unique, assign) = dedup_indices(ps);
+        let unique_objs = par.par_map(&unique, |&i| objective.evaluate(&space.values(&ps[i])));
+        assign.into_iter().map(|u| unique_objs[u].clone()).collect()
     };
 
     let mut points: Vec<PointIndex> = (0..population).map(|_| space.sample(&mut rng)).collect();

@@ -1,0 +1,66 @@
+//! Batched, memoizing evaluation service for `magseven` — the
+//! inference-serving tier of the workspace.
+//!
+//! The ROADMAP's north star is a system that serves heavy evaluation
+//! traffic; AutoPilot-style design-space exploration spends most of its
+//! budget re-evaluating near-duplicate candidate configurations. This
+//! crate closes both gaps with the same dedup → batch → dispatch → cache
+//! shape an inference server uses:
+//!
+//! - [`key`] — deterministic content-addressed cache keys: a 64-bit
+//!   FNV-1a hash over canonicalized requests, fields in fixed order,
+//!   floats via [`f64::to_bits`].
+//! - [`cache`] — a sharded in-memory store with a hard capacity bound,
+//!   LRU-ish eviction, and exact hit/miss/eviction counters.
+//! - [`batch`] — the request batcher: coalesce duplicate in-flight
+//!   requests, answer hits from the cache, dispatch unique misses in one
+//!   batch over the deterministic [`m7_par`] pool.
+//! - [`wire`] — the newline-delimited `key = value` protocol (the same
+//!   line format as `m7_arch::spec` — no JSON dependency).
+//! - [`server`] — a loopback [`std::net::TcpListener`] service with
+//!   per-connection timeouts, a bounded pending queue that sheds load
+//!   with an explicit `busy` response, and clean shutdown on a sentinel
+//!   request.
+//!
+//! # Determinism contract
+//!
+//! Every cached value is a pure function of its key, so memoization can
+//! change only *how much* work runs, never *what* is returned: a search
+//! or experiment evaluated through this crate is **byte-identical** with
+//! the cache on or off, at any thread count, under any eviction history.
+//!
+//! # Examples
+//!
+//! ```
+//! use m7_par::ParConfig;
+//! use m7_serve::batch::evaluate_batch_memo;
+//! use m7_serve::cache::EvalCache;
+//! use m7_serve::key::EvalRequest;
+//!
+//! let cache: EvalCache<f64> = EvalCache::new(1024);
+//! let requests: Vec<EvalRequest> = (0..8)
+//!     .map(|i| EvalRequest::new("square", vec![f64::from(i % 3)], 0))
+//!     .collect();
+//! let (costs, outcome) = evaluate_batch_memo(
+//!     &cache,
+//!     ParConfig::serial(),
+//!     &requests,
+//!     |r| r.cache_key(0),
+//!     |r| r.values[0] * r.values[0],
+//! );
+//! assert_eq!(costs.len(), 8);
+//! assert_eq!(outcome.computed, 3); // only the three unique designs ran
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod key;
+pub mod server;
+pub mod wire;
+
+pub use batch::{evaluate_batch_memo, BatchOutcome};
+pub use cache::{CacheStats, EvalCache};
+pub use key::{CacheKey, EvalRequest, KeyHasher};
+pub use server::{EvalClient, EvalServer, Evaluator, ServeConfig, ServerHandle};

@@ -1,0 +1,487 @@
+//! The loopback evaluation server: a [`std::net::TcpListener`] front end
+//! over the memoizing batcher.
+//!
+//! Architecture (two service threads plus the pool):
+//!
+//! ```text
+//! clients ──▶ accept thread ──▶ bounded pending queue ──▶ dispatch thread
+//!                │ (full ⇒ `busy`)                          │ drain ≤ max_batch
+//!                ▼                                          ▼
+//!            shed + close                    coalesce ▸ cache ▸ m7-par batch
+//! ```
+//!
+//! The pending queue is **bounded**: when it is full the accept thread
+//! answers `status = busy` immediately and closes the connection instead
+//! of stalling the listener — explicit load shedding, never an unbounded
+//! backlog. Every connection gets read *and* write timeouts so one slow
+//! client cannot wedge a batch. A `op = shutdown` sentinel request stops
+//! both threads cleanly (the dispatcher wakes the blocked `accept` with
+//! a loopback self-connection).
+
+use crate::batch::evaluate_batch_memo_flagged;
+use crate::cache::{CacheStats, EvalCache};
+use crate::key::{namespace, EvalRequest};
+use crate::wire::{format_response, parse_request, Request, Response};
+use m7_par::ParConfig;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Upper bound on one wire message; larger requests are rejected.
+const MAX_MESSAGE_BYTES: usize = 64 * 1024;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// TCP port on 127.0.0.1 (0 picks an ephemeral port; read it back
+    /// from [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Pool used to dispatch each batch of unique evaluations.
+    pub par: ParConfig,
+    /// Cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Bound on connections queued for dispatch; beyond it requests are
+    /// shed with `busy`.
+    pub max_pending: usize,
+    /// Most requests coalesced into one dispatch.
+    pub max_batch: usize,
+    /// Per-connection read and write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            par: ParConfig::default(),
+            cache_capacity: 4096,
+            max_pending: 64,
+            max_batch: 32,
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The pure function a server serves. Implementations must be
+/// deterministic in the request — the cache depends on it.
+pub trait Evaluator: Send + Sync {
+    /// A tag mixed into every cache key, separating this evaluator's
+    /// results from any other's.
+    fn namespace_tag(&self) -> &str;
+
+    /// Evaluates one request, or explains (in one line) why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for requests outside the evaluator's
+    /// domain (wrong arity, unknown workload, non-finite inputs).
+    fn evaluate(&self, request: &EvalRequest) -> Result<f64, String>;
+}
+
+impl<F: Fn(&EvalRequest) -> Result<f64, String> + Send + Sync> Evaluator for F {
+    fn namespace_tag(&self) -> &str {
+        "closure"
+    }
+
+    fn evaluate(&self, request: &EvalRequest) -> Result<f64, String> {
+        self(request)
+    }
+}
+
+/// State shared between the accept thread, the dispatch thread, and the
+/// handle.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    wake: Condvar,
+    stop: AtomicBool,
+    /// Deterministic evaluator errors are cached alongside costs: a bad
+    /// request is re-answered from memory, not re-evaluated.
+    cache: EvalCache<Result<f64, String>>,
+    config: ServeConfig,
+    evaluator: Arc<dyn Evaluator>,
+}
+
+/// A running server: its bound address plus the thread handles needed to
+/// join it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    dispatch: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The loopback evaluation server.
+pub struct EvalServer;
+
+impl EvalServer {
+    /// Binds 127.0.0.1 and spawns the accept and dispatch threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the port is unavailable.
+    pub fn spawn(config: ServeConfig, evaluator: Arc<dyn Evaluator>) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            cache: EvalCache::new(config.cache_capacity.max(1)),
+            config,
+            evaluator,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("m7-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+        let dispatch_shared = Arc::clone(&shared);
+        let dispatch = std::thread::Builder::new()
+            .name("m7-serve-dispatch".into())
+            .spawn(move || dispatch_loop(&dispatch_shared, addr))?;
+
+        Ok(ServerHandle { addr, shared, accept: Some(accept), dispatch: Some(dispatch) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves an ephemeral port request).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Exact cache telemetry for the running server.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Stops the server and joins both service threads.
+    ///
+    /// Prefers the clean path — a `shutdown` sentinel request through the
+    /// front door — but falls back to flagging + self-connecting if the
+    /// request is shed or fails, so shutdown always terminates.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server stops on its own — a client's `shutdown`
+    /// request — joining both service threads. The foreground-serving
+    /// counterpart of [`ServerHandle::shutdown`].
+    pub fn wait(mut self) {
+        if let Some(handle) = self.dispatch.take() {
+            let _ = handle.join();
+        }
+        // Dispatch only returns with the stop flag set and the accept
+        // thread woken, so this join cannot hang.
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        let client = EvalClient::new(self.addr).with_timeout(Duration::from_secs(2));
+        let clean = matches!(client.shutdown(), Ok(Response::Stopping));
+        if !clean {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            self.shared.wake.notify_all();
+            // Unblock a blocked accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.dispatch.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || self.dispatch.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+        let mut queue = shared.queue.lock().expect("queue poisoned");
+        if queue.len() >= shared.config.max_pending {
+            // Shed load explicitly instead of stalling the listener.
+            drop(queue);
+            let mut stream = stream;
+            let _ = stream.write_all(format_response(&Response::Busy).as_bytes());
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.wake.notify_one();
+    }
+}
+
+fn dispatch_loop(shared: &Shared, addr: SocketAddr) {
+    let ns = namespace(shared.evaluator.namespace_tag(), 0);
+    loop {
+        // Wait for work or a stop flag.
+        let mut batch: Vec<TcpStream> = Vec::new();
+        {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            while queue.is_empty() && !shared.stop.load(Ordering::SeqCst) {
+                queue = shared.wake.wait(queue).expect("queue poisoned");
+            }
+            while batch.len() < shared.config.max_batch {
+                match queue.pop_front() {
+                    Some(stream) => batch.push(stream),
+                    None => break,
+                }
+            }
+        }
+        if batch.is_empty() && shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+
+        // Read and parse every connection in the batch.
+        let mut evals: Vec<(TcpStream, EvalRequest)> = Vec::new();
+        let mut saw_shutdown = false;
+        for mut stream in batch {
+            match read_message(&mut stream) {
+                Ok(text) => match parse_request(&text) {
+                    Ok(Request::Eval(req)) => evals.push((stream, req)),
+                    Ok(Request::Stats) => {
+                        respond(&mut stream, &Response::Stats(shared.cache.stats()));
+                    }
+                    Ok(Request::Shutdown) => {
+                        respond(&mut stream, &Response::Stopping);
+                        saw_shutdown = true;
+                    }
+                    Err(err) => respond(&mut stream, &Response::Error(err.to_string())),
+                },
+                Err(err) => respond(&mut stream, &Response::Error(format!("read failed: {err}"))),
+            }
+        }
+
+        // Coalesce duplicates, consult the cache, dispatch unique work as
+        // one batch on the pool.
+        if !evals.is_empty() {
+            let requests: Vec<EvalRequest> = evals.iter().map(|(_, r)| r.clone()).collect();
+            let evaluator = &shared.evaluator;
+            let (results, _outcome) = evaluate_batch_memo_flagged(
+                &shared.cache,
+                shared.config.par,
+                &requests,
+                |r| r.cache_key(ns),
+                |r| evaluator.evaluate(r).map_err(|e| e.to_string()),
+            );
+            for ((mut stream, _), (result, saved)) in evals.into_iter().zip(results) {
+                let response = match result {
+                    Ok(cost) => Response::Cost { cost, cached: saved },
+                    Err(msg) => Response::Error(msg),
+                };
+                respond(&mut stream, &response);
+            }
+        }
+
+        if saw_shutdown {
+            shared.stop.store(true, Ordering::SeqCst);
+            // Wake the accept thread out of its blocking accept().
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    }
+}
+
+/// Reads one blank-line-terminated message (or to EOF), bounded by
+/// [`MAX_MESSAGE_BYTES`] and the connection's read timeout.
+fn read_message(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_MESSAGE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "message too large"));
+        }
+        if buf.windows(2).rev().take(buf.len().min(n + 1)).any(|w| w == b"\n\n") {
+            break;
+        }
+    }
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message is not UTF-8"))
+}
+
+fn respond(stream: &mut TcpStream, response: &Response) {
+    let _ = stream.write_all(format_response(response).as_bytes());
+    let _ = stream.flush();
+}
+
+/// A one-request-per-connection client for the loopback protocol.
+///
+/// # Examples
+///
+/// ```no_run
+/// use m7_serve::key::EvalRequest;
+/// use m7_serve::server::EvalClient;
+///
+/// let client = EvalClient::new("127.0.0.1:7207".parse().unwrap());
+/// let response = client.eval(&EvalRequest::new("mission", vec![1.0, 2.0], 42))?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl EvalClient {
+    /// A client for the server at `addr` with a 5 s default timeout.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, timeout: Duration::from_secs(5) }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends an evaluation request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error, or `InvalidData` when the response does
+    /// not parse.
+    pub fn eval(&self, request: &EvalRequest) -> io::Result<Response> {
+        self.roundtrip(&Request::Eval(request.clone()))
+    }
+
+    /// Requests the server's cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error, or `InvalidData` when the response does
+    /// not parse.
+    pub fn stats(&self) -> io::Result<Response> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Sends the shutdown sentinel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error, or `InvalidData` when the response does
+    /// not parse.
+    pub fn shutdown(&self) -> io::Result<Response> {
+        self.roundtrip(&Request::Shutdown)
+    }
+
+    fn roundtrip(&self, request: &Request) -> io::Result<Response> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.write_all(crate::wire::format_request(request).as_bytes())?;
+        stream.flush()?;
+        let text = read_message(&mut stream)?;
+        crate::wire::parse_response(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(request: &EvalRequest) -> Result<f64, String> {
+        if request.values.is_empty() {
+            return Err("values must be nonempty".to_string());
+        }
+        Ok(request.values.iter().map(|v| v * v).sum::<f64>() + request.seed as f64)
+    }
+
+    fn spawn_default() -> ServerHandle {
+        EvalServer::spawn(
+            ServeConfig { par: ParConfig::serial(), ..ServeConfig::default() },
+            Arc::new(quadratic),
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn eval_roundtrip_and_cache_hit() {
+        let server = spawn_default();
+        let client = EvalClient::new(server.addr());
+        let req = EvalRequest::new("mission", vec![3.0, 4.0], 2);
+        let first = client.eval(&req).unwrap();
+        assert_eq!(first, Response::Cost { cost: 27.0, cached: false });
+        let second = client.eval(&req).unwrap();
+        assert_eq!(second, Response::Cost { cost: 27.0, cached: true });
+        assert_eq!(server.cache_stats().hits, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_clean_shutdown() {
+        let server = spawn_default();
+        let client = EvalClient::new(server.addr());
+        let _ = client.eval(&EvalRequest::new("mission", vec![1.0], 0)).unwrap();
+        let Response::Stats(stats) = client.stats().unwrap() else { panic!("want stats") };
+        assert_eq!(stats.entries, 1);
+        assert_eq!(client.shutdown().unwrap(), Response::Stopping);
+        // Threads are joined by the handle; a fresh connection now fails
+        // or is never served.
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_out_of_domain_requests_get_errors() {
+        let server = spawn_default();
+        let client = EvalClient::new(server.addr());
+        // Out-of-domain: empty values vector.
+        let resp = client.eval(&EvalRequest::new("mission", vec![], 0)).unwrap();
+        assert_eq!(resp, Response::Error("values must be nonempty".to_string()));
+        // Malformed on the wire.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"op = warp\n\n").unwrap();
+        let text = read_message(&mut stream).unwrap();
+        let parsed = crate::wire::parse_response(&text).unwrap();
+        assert!(matches!(parsed, Response::Error(ref msg) if msg.contains("unknown op")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_busy() {
+        // max_pending = 0: every connection is shed immediately, which
+        // exercises the shedding path deterministically.
+        let server = EvalServer::spawn(
+            ServeConfig { max_pending: 0, par: ParConfig::serial(), ..ServeConfig::default() },
+            Arc::new(quadratic),
+        )
+        .unwrap();
+        let client = EvalClient::new(server.addr());
+        let resp = client.eval(&EvalRequest::new("mission", vec![1.0], 0)).unwrap();
+        assert_eq!(resp, Response::Busy);
+        server.shutdown();
+    }
+}

@@ -133,9 +133,16 @@ fn campaign_uav() -> Uav {
 /// Runs E11 with `runs` Monte-Carlo draws per arm.
 #[must_use]
 pub fn run_with_runs(seed: u64, runs: usize) -> RobustnessResult {
+    run_with_runs_par(seed, runs, ParConfig::default())
+}
+
+/// [`run_with_runs`] with an explicit parallel-execution configuration.
+/// The result is bit-identical for any `par` — threads change only
+/// wall-clock time.
+#[must_use]
+pub fn run_with_runs_par(seed: u64, runs: usize, par: ParConfig) -> RobustnessResult {
     let mission = MissionSpec::survey(1500.0);
     let horizon = Seconds::new(300.0);
-    let par = ParConfig::default();
     let arms = [
         ("nominal", FaultProfile::none(), DegradationPolicy::none()),
         ("nominal-aware", FaultProfile::none(), DegradationPolicy::full()),

@@ -9,7 +9,11 @@
 
 use crate::report::{fmt_f64, Report, Table};
 use m7_dse::explorer::{Explorer, SearchBudget};
+use m7_dse::memo::EvalMemo;
 use m7_dse::space::{DesignSpace, Dimension};
+use m7_par::ParConfig;
+use m7_serve::cache::EvalCache;
+use m7_serve::key::namespace;
 use m7_sim::mission::MissionSpec;
 use m7_sim::uav::{ComputeTier, Uav, UavConfig};
 use m7_units::{Joules, Meters, MetersPerSecond};
@@ -122,6 +126,51 @@ pub fn run(seed: u64) -> DseResult {
     DseResult { optimum, optimum_values: exhaustive.best_values, rows }
 }
 
+/// [`run`] with objective evaluations memoized through one shared
+/// content-addressed cache, so the four budgeted strategies reuse the
+/// exhaustive pass's scores (and each other's).
+///
+/// Returns the result — **bit-identical** to [`run`] for the same seed,
+/// because the mission objective is a pure function of its design values
+/// and the seed — plus the number of objective evaluations the cache
+/// saved. The savings figure is reported out-of-band so the E9 report
+/// itself stays byte-stable whether or not memoization is on.
+#[must_use]
+pub fn run_cached(seed: u64) -> (DseResult, u64) {
+    let space = uav_design_space();
+    let objective = move |values: &[f64]| mission_cost(values, seed);
+    let budget = SearchBudget::new(40);
+    let par = ParConfig::default();
+    // Big enough to hold the whole space: savings are then exact, not
+    // eviction-dependent.
+    let cache = EvalCache::new(space.cardinality().max(64));
+    let memo = EvalMemo::new(&cache, namespace("e9-mission", seed));
+
+    let exhaustive = Explorer::Exhaustive.run_memoized(
+        &space,
+        &objective,
+        SearchBudget::new(space.cardinality()),
+        seed,
+        par,
+        &memo,
+    );
+    let optimum = exhaustive.best_cost;
+    let threshold = optimum * 1.10;
+
+    let strategies =
+        [Explorer::Random, Explorer::annealing(), Explorer::genetic(), Explorer::surrogate()];
+    let rows = strategies
+        .iter()
+        .map(|strategy| {
+            let result = strategy.run_memoized(&space, &objective, budget, seed, par, &memo);
+            let within = result.trace.iter().position(|&c| c <= threshold).map(|i| i + 1);
+            (strategy.name().to_string(), result.best_cost, within)
+        })
+        .collect();
+    let saved = cache.stats().hits;
+    (DseResult { optimum, optimum_values: exhaustive.best_values, rows }, saved)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +207,15 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_and_saves_evaluations() {
+        let plain = run(3);
+        let (cached, saved) = run_cached(3);
+        assert_eq!(plain, cached, "memoization must not change the result");
+        assert_eq!(plain.report().to_string(), cached.report().to_string());
+        assert!(saved > 0, "the budgeted strategies revisit exhaustively-scored designs");
     }
 
     #[test]

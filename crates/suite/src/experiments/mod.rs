@@ -150,6 +150,24 @@ impl ExperimentId {
             Self::E11Robustness => e11_robustness::run(seed).report(),
         }
     }
+
+    /// [`ExperimentId::run_with`], routing experiments with a memoized
+    /// evaluation path (today: E9) through their content-addressed cache.
+    ///
+    /// Returns the report — byte-identical to [`ExperimentId::run_with`]
+    /// for the same arguments, because memoization only skips re-scoring
+    /// pure objectives — plus the number of objective evaluations the
+    /// cache saved (`0` for experiments without a cached path).
+    #[must_use]
+    pub fn run_with_cached(self, seed: u64, timing: Timing) -> (Report, u64) {
+        match self {
+            Self::E9Dse => {
+                let (result, saved) = e9_dse::run_cached(seed);
+                (result.report(), saved)
+            }
+            other => (other.run_with(seed, timing), 0),
+        }
+    }
 }
 
 /// Resolves a slug-prefix filter to experiments in paper order.
@@ -231,6 +249,54 @@ pub fn run_selected_parallel(
     Ok(par.par_map(ids, |&id| (id, id.run_with(experiment_seed(root_seed, id), timing))))
 }
 
+/// [`run_selected_serial`], routing cached experiments (today: E9)
+/// through their memoized path. Each tuple carries the evaluations the
+/// cache saved for that experiment; reports are byte-identical to the
+/// uncached runner.
+///
+/// # Errors
+///
+/// Returns the same empty-selection error as [`run_selected_serial`].
+pub fn run_selected_serial_cached(
+    ids: &[ExperimentId],
+    root_seed: u64,
+    timing: Timing,
+) -> Result<Vec<(ExperimentId, Report, u64)>, String> {
+    if ids.is_empty() {
+        return Err(unknown_selection_error(""));
+    }
+    Ok(ids
+        .iter()
+        .map(|&id| {
+            let (report, saved) = id.run_with_cached(experiment_seed(root_seed, id), timing);
+            (id, report, saved)
+        })
+        .collect())
+}
+
+/// [`run_selected_parallel`], routing cached experiments (today: E9)
+/// through their memoized path on the deterministic pool. Reports and
+/// saved-evaluation counts are identical to
+/// [`run_selected_serial_cached`] at any thread count.
+///
+/// # Errors
+///
+/// Returns the same empty-selection error as [`run_selected_parallel`].
+pub fn run_selected_parallel_cached(
+    ids: &[ExperimentId],
+    root_seed: u64,
+    timing: Timing,
+    par: ParConfig,
+) -> Result<Vec<(ExperimentId, Report, u64)>, String> {
+    if ids.is_empty() {
+        return Err(unknown_selection_error(""));
+    }
+    Ok(par.par_map(ids, |&id| {
+        let (report, saved) = id.run_with_cached(experiment_seed(root_seed, id), timing);
+        (id, report, saved)
+    }))
+}
+
 /// Runs all experiments one at a time, in paper order, each on its own
 /// seed derived from `root_seed` — the serial reference for
 /// [`run_all_parallel`].
@@ -304,6 +370,31 @@ mod tests {
         let err = select(Some("e99")).unwrap_err();
         assert!(err.contains("no experiment slug starts with \"e99\""), "got {err}");
         assert!(err.contains("e11_robustness"), "error must list known slugs: {err}");
+    }
+
+    #[test]
+    fn cached_runner_reports_match_uncached_and_only_e9_saves() {
+        let ids = [ExperimentId::E5Brakes, ExperimentId::E9Dse];
+        let plain = run_selected_serial(&ids, 42, Timing::Modeled).unwrap();
+        let cached = run_selected_serial_cached(&ids, 42, Timing::Modeled).unwrap();
+        for ((id, report), (cid, creport, saved)) in plain.iter().zip(&cached) {
+            assert_eq!(id, cid);
+            assert_eq!(report.to_string(), creport.to_string(), "{id}: report must not change");
+            if *cid == ExperimentId::E9Dse {
+                assert!(*saved > 0, "E9 must save evaluations");
+            } else {
+                assert_eq!(*saved, 0, "{id} has no cached path");
+            }
+        }
+        let parallel =
+            run_selected_parallel_cached(&ids, 42, Timing::Modeled, ParConfig::with_threads(4))
+                .unwrap();
+        assert_eq!(cached.len(), parallel.len());
+        for ((id, report, saved), (pid, preport, psaved)) in cached.iter().zip(&parallel) {
+            assert_eq!(id, pid);
+            assert_eq!(report.to_string(), preport.to_string());
+            assert_eq!(saved, psaved, "{id}: savings must be thread-count invariant");
+        }
     }
 
     #[test]

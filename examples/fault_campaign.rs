@@ -1,18 +1,22 @@
 //! Runs a fault-injection campaign over the E11 vehicle and prints the
 //! robustness comparison: nominal vs. fault-blind vs. degradation-aware.
 //!
-//! Run with: `cargo run --release --example fault_campaign [--runs N] [--seed S]`
+//! Run with:
+//! `cargo run --release --example fault_campaign [--runs N] [--seed S] [--threads T]`
 //!
 //! `--runs` sets the Monte-Carlo draws per design arm (default 32; CI
 //! smoke-tests with a reduced N). The campaign fans runs across the
-//! deterministic pool (`M7_THREADS`), and the report is byte-identical
-//! at any thread count for the same seed.
+//! deterministic pool (`--threads`, else `M7_THREADS`, else all cores),
+//! and the report is byte-identical at any thread count for the same
+//! seed.
 
+use magseven::par::ParConfig;
 use magseven::suite::experiments::e11_robustness;
 
 fn main() {
     let mut runs = 32usize;
     let mut seed = 42u64;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,9 +36,22 @@ fn main() {
                 };
                 seed = v;
             }
+            "--threads" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                };
+                if v == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
+                threads = Some(v);
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S]"
+                    "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S] \
+                     [--threads T]"
                 );
                 std::process::exit(2);
             }
@@ -44,8 +61,9 @@ fn main() {
         eprintln!("--runs must be at least 1");
         std::process::exit(2);
     }
+    let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
-    let result = e11_robustness::run_with_runs(seed, runs);
+    let result = e11_robustness::run_with_runs_par(seed, runs, par);
     println!("{}", result.report());
     eprintln!(
         "aware {:.3} vs blind {:.3} mission success over {} shared fault draws",

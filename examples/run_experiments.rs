@@ -13,25 +13,50 @@
 //!   output).
 //! - `--measured` — time E6's roadmap builds on the host wall clock
 //!   instead of the cost models (numbers vary run to run).
+//! - `--threads N` — size the deterministic pool explicitly (overrides
+//!   `M7_THREADS`; the reports do not change, only wall-clock time).
+//! - `--cached` — route experiments with a memoized evaluation path
+//!   (E9) through their content-addressed cache. Reports stay
+//!   byte-identical; the evaluations saved are printed to stderr.
 //!
 //! A non-flag argument selects experiments by slug prefix; a prefix that
 //! matches nothing is an error on both the serial and parallel paths.
 
 use magseven::par::ParConfig;
-use magseven::suite::experiments::{run_selected_parallel, run_selected_serial, select, Timing};
+use magseven::suite::experiments::{
+    run_selected_parallel, run_selected_parallel_cached, run_selected_serial,
+    run_selected_serial_cached, select, Timing,
+};
 
 fn main() {
     let mut serial = false;
+    let mut cached = false;
     let mut timing = Timing::Modeled;
+    let mut threads: Option<usize> = None;
     let mut filter: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serial" => serial = true,
+            "--cached" => cached = true,
             "--measured" => timing = Timing::Measured,
+            "--threads" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                };
+                if v == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
+                threads = Some(v);
+            }
             _ => filter = Some(arg),
         }
     }
     let seed = 42;
+    let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     // An experiment always runs on the seed of its paper-order position,
     // so a filtered run reproduces the corresponding full-run reports.
@@ -42,12 +67,19 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let reports = if serial {
-        run_selected_serial(&ids, seed, timing)
-    } else {
-        run_selected_parallel(&ids, seed, timing, ParConfig::default())
+
+    // The cached and uncached paths print byte-identical reports; cached
+    // additionally reports the objective evaluations it skipped.
+    let triples =
+        |rs: Vec<(_, _, u64)>| rs.into_iter().map(|(id, r, s)| (id, r, Some(s))).collect();
+    let plain = |rs: Vec<(_, _)>| rs.into_iter().map(|(id, r)| (id, r, None)).collect();
+    let reports = match (cached, serial) {
+        (false, true) => run_selected_serial(&ids, seed, timing).map(plain),
+        (false, false) => run_selected_parallel(&ids, seed, timing, par).map(plain),
+        (true, true) => run_selected_serial_cached(&ids, seed, timing).map(triples),
+        (true, false) => run_selected_parallel_cached(&ids, seed, timing, par).map(triples),
     };
-    let reports = match reports {
+    let reports: Vec<(_, _, Option<u64>)> = match reports {
         Ok(reports) => reports,
         Err(err) => {
             eprintln!("{err}");
@@ -55,8 +87,11 @@ fn main() {
         }
     };
 
-    for (id, report) in reports {
+    for (id, report, saved) in reports {
         eprintln!("ran {} — {}", id.slug(), id.description());
+        if let Some(saved) = saved.filter(|&s| s > 0) {
+            eprintln!("  {} saved {saved} objective evaluations via the result cache", id.slug());
+        }
         println!("{report}");
         println!("{}", "=".repeat(76));
     }

@@ -15,6 +15,8 @@
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
 //! - [`suite`] — benchmark suite and experiments E1..E11 ([`m7_suite`])
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
+//! - [`serve`] — memoizing evaluation service: content-addressed result
+//!   cache, request batcher, loopback server ([`m7_serve`])
 //!
 //! ## Quickstart
 //!
@@ -33,6 +35,7 @@ pub use m7_dse as dse;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
 pub use m7_par as par;
+pub use m7_serve as serve;
 pub use m7_sim as sim;
 pub use m7_suite as suite;
 pub use m7_units as units;
@@ -68,6 +71,12 @@ pub mod prelude {
         fleet::FleetModel,
     };
     pub use m7_par::ParConfig;
+    pub use m7_serve::{
+        batch::evaluate_batch_memo,
+        cache::{CacheStats, EvalCache},
+        key::{CacheKey, EvalRequest},
+        server::{EvalClient, EvalServer, ServeConfig},
+    };
     pub use m7_sim::{
         campaign::{CampaignConfig, CampaignRunner, RobustnessReport},
         degrade::DegradationPolicy,

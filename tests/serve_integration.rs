@@ -1,0 +1,177 @@
+//! Integration tests for the serving layer: E9 memoization produces a
+//! byte-identical report while saving evaluations, and the loopback
+//! evaluation server round-trips requests — duplicates answered from
+//! cache — identically at any pool size.
+//!
+//! Network-touching tests run the client under a watchdog thread so a
+//! wedged server fails the test in seconds instead of hanging CI.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use magseven::par::ParConfig;
+use magseven::serve::key::EvalRequest;
+use magseven::serve::server::{EvalClient, EvalServer, Evaluator, ServeConfig};
+use magseven::serve::wire::Response;
+use magseven::suite::experiments::e9_dse;
+
+/// The watchdog budget for one whole client session against a local
+/// server — generous next to the ~ms round-trips, tight next to CI.
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Runs `work` on a helper thread and fails loudly if it does not finish
+/// inside [`WATCHDOG`] — the test-level guard against a deadlocked
+/// accept or dispatch loop.
+fn with_watchdog<T: Send + 'static>(work: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let _ = tx.send(work());
+    });
+    let result = rx.recv_timeout(WATCHDOG).expect("server session wedged past the watchdog");
+    worker.join().expect("worker panicked");
+    result
+}
+
+/// A deliberately slow-free pure evaluator: a polynomial of the request
+/// fields, deterministic and cheap, so tests exercise the transport and
+/// cache rather than the objective.
+struct PolyEvaluator;
+
+impl Evaluator for PolyEvaluator {
+    fn namespace_tag(&self) -> &str {
+        "poly"
+    }
+
+    fn evaluate(&self, request: &EvalRequest) -> Result<f64, String> {
+        if request.workload != "poly" {
+            return Err(format!("unknown workload {:?}", request.workload));
+        }
+        if request.values.is_empty() {
+            return Err("poly needs at least one value".to_string());
+        }
+        let mut acc = request.seed as f64 * 0.125;
+        for (i, v) in request.values.iter().enumerate() {
+            acc = acc * 0.5 + v * (i as f64 + 1.0);
+        }
+        Ok(acc)
+    }
+}
+
+/// The session's request mix: distinct points interleaved with exact
+/// duplicates (every third request repeats its predecessor).
+fn session_requests(n: usize) -> Vec<EvalRequest> {
+    (0..n)
+        .map(|i| {
+            let pick = if i % 3 == 2 { i - 1 } else { i };
+            EvalRequest::new("poly", vec![pick as f64, pick as f64 * 0.25 + 1.0], 7)
+        })
+        .collect()
+}
+
+/// One full client session: eval every request, then fetch stats and
+/// shut the server down. Returns `(costs, cached flags, final stats)`.
+fn run_session(par: ParConfig) -> (Vec<f64>, Vec<bool>, magseven::serve::cache::CacheStats) {
+    with_watchdog(move || {
+        let config = ServeConfig { par, ..ServeConfig::default() };
+        let handle =
+            EvalServer::spawn(config, Arc::new(PolyEvaluator)).expect("bind loopback server");
+        let client = EvalClient::new(handle.addr()).with_timeout(Duration::from_secs(10));
+
+        let mut costs = Vec::new();
+        let mut cached = Vec::new();
+        for request in session_requests(18) {
+            match client.eval(&request).expect("eval round-trip") {
+                Response::Cost { cost, cached: was_cached } => {
+                    costs.push(cost);
+                    cached.push(was_cached);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        let stats = handle.cache_stats();
+        handle.shutdown();
+        (costs, cached, stats)
+    })
+}
+
+/// Served costs bit-match direct evaluation; the duplicate requests are
+/// answered from the cache and the server's counters say so.
+#[test]
+fn loopback_round_trip_serves_exact_costs_and_caches_duplicates() {
+    let (costs, cached, stats) = run_session(ParConfig::default());
+    let expected: Vec<f64> = session_requests(18)
+        .iter()
+        .map(|r| PolyEvaluator.evaluate(r).expect("valid request"))
+        .collect();
+    assert_eq!(costs.len(), expected.len());
+    for (i, (got, want)) in costs.iter().zip(&expected).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "request {i}: served {got}, direct {want}");
+    }
+    // 18 requests, every third a duplicate of its predecessor: exactly 6
+    // requests repeat an already-served point.
+    let dup_count = cached.iter().filter(|&&c| c).count();
+    assert_eq!(dup_count, 6, "cached flags: {cached:?}");
+    assert_eq!(stats.hits, 6, "server cache telemetry must agree: {stats}");
+    assert_eq!(stats.misses as usize, 12, "{stats}");
+}
+
+/// A serial pool and a 4-thread pool serve byte-identical responses —
+/// the server inherits `m7-par`'s determinism contract.
+#[test]
+fn server_responses_are_thread_count_invariant() {
+    let (serial_costs, serial_cached, serial_stats) = run_session(ParConfig::serial());
+    let (pooled_costs, pooled_cached, pooled_stats) = run_session(ParConfig::with_threads(4));
+    assert_eq!(serial_costs.len(), pooled_costs.len());
+    for (a, b) in serial_costs.iter().zip(&pooled_costs) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(serial_cached, pooled_cached);
+    assert_eq!(serial_stats.hits, pooled_stats.hits);
+    assert_eq!(serial_stats.misses, pooled_stats.misses);
+}
+
+/// Invalid requests come back as `error` responses — and, being
+/// deterministic, are themselves cached — without disturbing the
+/// well-formed traffic around them.
+#[test]
+fn invalid_requests_answer_with_errors_not_hangs() {
+    with_watchdog(|| {
+        let handle = EvalServer::spawn(ServeConfig::default(), Arc::new(PolyEvaluator))
+            .expect("bind loopback server");
+        let client = EvalClient::new(handle.addr()).with_timeout(Duration::from_secs(10));
+
+        let bad = EvalRequest::new("nope", vec![1.0], 7);
+        match client.eval(&bad).expect("round-trip") {
+            Response::Error(msg) => assert!(msg.contains("unknown workload"), "{msg}"),
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        // The valid request after a rejected one is served normally.
+        let good = EvalRequest::new("poly", vec![2.0, 3.0], 7);
+        match client.eval(&good).expect("round-trip") {
+            Response::Cost { cost, .. } => {
+                let direct = PolyEvaluator.evaluate(&good).expect("valid");
+                assert_eq!(cost.to_bits(), direct.to_bits());
+            }
+            other => panic!("expected a cost, got {other:?}"),
+        }
+        handle.shutdown();
+    });
+}
+
+/// E9 through the shared evaluation cache: the result and the rendered
+/// report are byte-identical to the uncached run, and the cache saves a
+/// strictly positive number of objective evaluations.
+#[test]
+fn e9_memoized_report_is_byte_identical_and_saves_work() {
+    let seed = 42;
+    let plain = e9_dse::run(seed);
+    let (cached, saved) = e9_dse::run_cached(seed);
+    assert_eq!(plain, cached, "memoization must not change E9's result");
+    assert_eq!(
+        plain.report().to_string(),
+        cached.report().to_string(),
+        "rendered reports must match byte for byte"
+    );
+    assert!(saved > 0, "E9's budgeted strategies revisit exhaustively-scored designs");
+}
