@@ -12,7 +12,22 @@ use crate::memo::{dedup_indices, EvalMemo};
 use crate::space::{DesignSpace, PointIndex};
 use crate::surrogate::Forest;
 use m7_par::ParConfig;
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use rand::{Rng, SeedableRng};
+
+// Search-lifecycle observability (no-ops until `m7_trace::enable()`).
+// Every search decision — which points are evaluated, which batches are
+// deduped, which memo probes hit — is a pure function of (space,
+// objective, budget, seed), so all DSE metrics are deterministic.
+static SEARCH_SPAN: SpanSite = SpanSite::new("dse.search", MetricClass::Deterministic);
+static SEARCHES: TraceCounter = TraceCounter::new("dse.searches", MetricClass::Deterministic);
+static EVALUATIONS: TraceCounter = TraceCounter::new("dse.evaluations", MetricClass::Deterministic);
+static GENERATIONS: TraceCounter = TraceCounter::new("dse.generations", MetricClass::Deterministic);
+static BATCH_ITEMS: TraceHistogram =
+    TraceHistogram::new("dse.batch_items", MetricClass::Deterministic);
+static MEMO_HITS: TraceCounter = TraceCounter::new("dse.memo.hits", MetricClass::Deterministic);
+static MEMO_COALESCED: TraceCounter =
+    TraceCounter::new("dse.memo.coalesced", MetricClass::Deterministic);
 
 /// A design objective to *minimize* (e.g. mission energy per meter, or a
 /// weighted cost).
@@ -205,7 +220,9 @@ impl Explorer {
         par: ParConfig,
         memo: Option<&EvalMemo<'_>>,
     ) -> SearchResult {
-        match self {
+        let _span = SEARCH_SPAN.enter();
+        SEARCHES.incr();
+        let result = match self {
             Self::Exhaustive => Self::run_exhaustive(space, objective, budget, par, memo),
             Self::Random => Self::run_random(space, objective, budget, seed, par, memo),
             Self::Annealing { initial_temperature, cooling } => Self::run_annealing(
@@ -238,7 +255,9 @@ impl Explorer {
                 par,
                 memo,
             ),
-        }
+        };
+        EVALUATIONS.add(result.evaluations as u64);
+        result
     }
 
     /// Evaluates a batch of points through the deterministic pool,
@@ -259,16 +278,19 @@ impl Explorer {
         memo: Option<&EvalMemo<'_>>,
     ) -> Vec<f64> {
         let (unique, assign) = dedup_indices(points);
+        BATCH_ITEMS.record(points.len() as u64);
         let unique_costs: Vec<f64> = match memo {
             None => par.par_map(&unique, |&i| objective.evaluate(&space.values(&points[i]))),
             Some(memo) => {
-                let (costs, _) = m7_serve::batch::evaluate_batch_memo(
+                let (costs, outcome) = m7_serve::batch::evaluate_batch_memo(
                     memo.cache(),
                     par,
                     &unique,
                     |&i| memo.key(&space.values(&points[i])),
                     |&i| objective.evaluate(&space.values(&points[i])),
                 );
+                MEMO_HITS.add(outcome.cache_hits as u64);
+                MEMO_COALESCED.add(outcome.coalesced as u64);
                 costs
             }
         };
@@ -413,6 +435,7 @@ impl Explorer {
         }
 
         while trace.len() < budget.max_evaluations {
+            GENERATIONS.incr();
             let lambda = population.min(budget.max_evaluations - trace.len());
             // Breed the whole generation serially: the child set depends
             // only on the seed, never on evaluation scheduling.
@@ -507,6 +530,7 @@ impl Explorer {
             spend(p, &mut evaluated, &mut trace, &mut best_so_far);
         }
         while trace.len() < budget.max_evaluations {
+            GENERATIONS.incr();
             let xs: Vec<Vec<f64>> = evaluated.iter().map(|(_, v, _)| v.clone()).collect();
             let ys: Vec<f64> = evaluated.iter().map(|(_, _, c)| *c).collect();
             let forest = Forest::fit(&xs, &ys, 16, 6, seed ^ trace.len() as u64);

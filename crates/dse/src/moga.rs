@@ -9,7 +9,17 @@ use crate::memo::dedup_indices;
 use crate::pareto::pareto_front;
 use crate::space::{DesignSpace, PointIndex};
 use m7_par::ParConfig;
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceGauge};
 use rand::{Rng, SeedableRng};
+
+// Multi-objective search observability (no-ops until
+// `m7_trace::enable()`). Selection and breeding are serial, so the
+// front and generation counts are seed-deterministic.
+static NSGA2_SPAN: SpanSite = SpanSite::new("dse.nsga2", MetricClass::Deterministic);
+static NSGA2_GENERATIONS: TraceCounter =
+    TraceCounter::new("dse.nsga2.generations", MetricClass::Deterministic);
+static FRONT_SIZE: TraceGauge =
+    TraceGauge::new("dse.pareto.front_size", MetricClass::Deterministic);
 
 /// A multi-objective cost function: every objective is minimized.
 pub trait MultiObjective: Sync {
@@ -133,6 +143,7 @@ pub fn nsga2_with(
     par: ParConfig,
 ) -> Vec<FrontMember> {
     assert!(population >= 4, "population must be at least 4");
+    let _span = NSGA2_SPAN.enter();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     // Duplicate genotypes within a generation (common once the front
     // converges) are scored once and the vector is scattered back — the
@@ -147,6 +158,7 @@ pub fn nsga2_with(
     let mut objs: Vec<Vec<f64>> = evaluate_batch(&points);
 
     for _ in 0..generations {
+        NSGA2_GENERATIONS.incr();
         // Produce offspring: binary tournament on (rank, crowding).
         let ranks = rank_population(&objs);
         let mut crowd = vec![0.0f64; points.len()];
@@ -217,6 +229,7 @@ pub fn nsga2_with(
             objectives: objs[i].clone(),
         });
     }
+    FRONT_SIZE.set(out.len() as u64);
     out
 }
 

@@ -51,7 +51,27 @@
 
 #![warn(missing_docs)]
 
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+// Observability (no-ops until `m7_trace::enable()`): batch/item totals
+// are pure functions of the work submitted, so they are classed
+// deterministic and recorded identically on the serial and pooled
+// paths. Everything scheduling-dependent — who claimed, who stole, how
+// deep the remaining queue was — lives under the `sched.` prefix as
+// diagnostic-class metrics.
+static BATCH_SPAN: SpanSite = SpanSite::new("par.batch", MetricClass::Deterministic);
+static WORKER_SPAN: SpanSite = SpanSite::new("sched.par.worker", MetricClass::Diagnostic);
+static BATCHES: TraceCounter = TraceCounter::new("par.batches", MetricClass::Deterministic);
+static ITEMS: TraceCounter = TraceCounter::new("par.items", MetricClass::Deterministic);
+static JOINS: TraceCounter = TraceCounter::new("par.joins", MetricClass::Deterministic);
+static JOIN_TASKS: TraceCounter = TraceCounter::new("par.join_tasks", MetricClass::Deterministic);
+static CLAIMS: TraceCounter = TraceCounter::new("sched.par.claims", MetricClass::Diagnostic);
+static STEALS: TraceCounter = TraceCounter::new("sched.par.steals", MetricClass::Diagnostic);
+static QUEUE_DEPTH: TraceHistogram =
+    TraceHistogram::new("sched.par.queue_depth", MetricClass::Diagnostic);
+static WORKER_ITEMS: TraceHistogram =
+    TraceHistogram::new("sched.par.worker_items", MetricClass::Diagnostic);
 
 /// Hard ceiling on the pool size; protects against pathological
 /// `M7_THREADS` values.
@@ -133,6 +153,9 @@ impl ParConfig {
         F: Fn(usize) -> U + Sync,
     {
         let workers = self.threads.min(len).max(1);
+        let _span = BATCH_SPAN.enter();
+        BATCHES.incr();
+        ITEMS.add(len as u64);
         if workers == 1 || len <= 1 {
             return (0..len).map(f).collect();
         }
@@ -143,12 +166,13 @@ impl ParConfig {
         let slots = SlotWriter::new(&mut results);
         let cursor = AtomicUsize::new(0);
 
+        let (cursor_ref, f_ref, slots_ref) = (&cursor, &f, &slots);
         std::thread::scope(|scope| {
             // The calling thread is worker 0; spawn the remaining ones.
-            for _ in 1..workers {
-                scope.spawn(|| worker_loop(&cursor, len, chunk, &f, &slots));
+            for worker in 1..workers {
+                scope.spawn(move || worker_loop(cursor_ref, len, chunk, worker, f_ref, slots_ref));
             }
-            worker_loop(&cursor, len, chunk, &f, &slots);
+            worker_loop(cursor_ref, len, chunk, 0, f_ref, slots_ref);
         });
 
         results.into_iter().map(|slot| slot.expect("every index claimed exactly once")).collect()
@@ -164,6 +188,8 @@ impl ParConfig {
         U: Send,
         F: FnOnce() -> U + Send,
     {
+        JOINS.incr();
+        JOIN_TASKS.add(tasks.len() as u64);
         if self.threads == 1 || tasks.len() <= 1 {
             return tasks.into_iter().map(|task| task()).collect();
         }
@@ -194,23 +220,41 @@ fn worker_loop<U, F>(
     cursor: &AtomicUsize,
     len: usize,
     chunk: usize,
+    worker: usize,
     f: &F,
     slots: &SlotWriter<'_, U>,
 ) where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    // Hoisted so the disabled path stays one load + branch per claim.
+    let tracing = m7_trace::enabled();
+    let _span = if tracing { Some(WORKER_SPAN.enter()) } else { None };
+    let mut processed = 0u64;
     loop {
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= len {
-            return;
+            break;
+        }
+        if tracing {
+            CLAIMS.incr();
+            if worker != 0 {
+                // A spawned worker pulling work the caller would
+                // otherwise run — the pool's analogue of a steal.
+                STEALS.incr();
+            }
+            QUEUE_DEPTH.record((len - start) as u64);
         }
         let end = (start + chunk).min(len);
+        processed += (end - start) as u64;
         for i in start..end {
             // SAFETY (upheld here): `i` comes from a unique fetch_add
             // claim, so no other worker touches slot `i`.
             unsafe { slots.write(i, f(i)) };
         }
+    }
+    if tracing {
+        WORKER_ITEMS.record(processed);
     }
 }
 

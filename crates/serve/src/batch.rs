@@ -12,7 +12,27 @@
 use crate::cache::EvalCache;
 use crate::key::CacheKey;
 use m7_par::ParConfig;
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use std::collections::HashMap;
+
+// Batch-lifecycle observability (no-ops until `m7_trace::enable()`).
+// Batch sizes, unique-work counts, and hit/coalesce/compute totals are
+// decided in the serial probe phase, so they are deterministic; the
+// hit/miss latency split is host timing, hence `sched.` / diagnostic.
+static BATCH_SPAN: SpanSite = SpanSite::new("serve.batch", MetricClass::Deterministic);
+static BATCH_ITEMS: TraceHistogram =
+    TraceHistogram::new("serve.batch.items", MetricClass::Deterministic);
+static BATCH_UNIQUE: TraceHistogram =
+    TraceHistogram::new("serve.batch.unique", MetricClass::Deterministic);
+static HITS: TraceCounter = TraceCounter::new("serve.batch.hits", MetricClass::Deterministic);
+static COALESCED: TraceCounter =
+    TraceCounter::new("serve.batch.coalesced", MetricClass::Deterministic);
+static COMPUTED: TraceCounter =
+    TraceCounter::new("serve.batch.computed", MetricClass::Deterministic);
+static HIT_PATH_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.hit_path_ns", MetricClass::Diagnostic);
+static MISS_PATH_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.miss_path_ns", MetricClass::Diagnostic);
 
 /// What one batched dispatch did, for telemetry and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,6 +122,9 @@ where
     K: Fn(&T) -> CacheKey,
     E: Fn(&T) -> V + Sync,
 {
+    let _span = BATCH_SPAN.enter();
+    let tracing = m7_trace::enabled();
+    let probe_start = tracing.then(std::time::Instant::now);
     let mut outcome = BatchOutcome::default();
 
     // Per-slot resolution: a hit value, or a position in the unique
@@ -140,9 +163,29 @@ where
     }
 
     outcome.computed = unique.len();
+    let compute_start = if let Some(t0) = probe_start {
+        // The serial key/probe/coalesce pass above is the latency every
+        // cache-answered request pays.
+        HIT_PATH_NS.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
     let computed: Vec<V> = par.par_map(&unique, |&i| eval(&items[i]));
     for (key, value) in unique_keys.iter().zip(&computed) {
         cache.insert(*key, value.clone());
+    }
+    if tracing {
+        if let Some(t0) = compute_start {
+            if !unique.is_empty() {
+                MISS_PATH_NS.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+        }
+        BATCH_ITEMS.record(items.len() as u64);
+        BATCH_UNIQUE.record(unique.len() as u64);
+        HITS.add(outcome.cache_hits as u64);
+        COALESCED.add(outcome.coalesced as u64);
+        COMPUTED.add(outcome.computed as u64);
     }
 
     let results = slots

@@ -13,12 +13,23 @@
 //! insertion counters are exact and lock-free to read.
 
 use crate::key::CacheKey;
+use m7_trace::{Counter, MetricClass, TraceCounter};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of independently locked shards (power of two).
 const SHARDS: usize = 16;
+
+// Global registry mirrors of the per-instance counters (no-ops until
+// `m7_trace::enable()`). The batcher probes and inserts serially, so
+// totals are a pure function of the submitted work — deterministic
+// across thread counts.
+static G_HITS: TraceCounter = TraceCounter::new("serve.cache.hits", MetricClass::Deterministic);
+static G_MISSES: TraceCounter = TraceCounter::new("serve.cache.misses", MetricClass::Deterministic);
+static G_EVICTIONS: TraceCounter =
+    TraceCounter::new("serve.cache.evictions", MetricClass::Deterministic);
+static G_INSERTIONS: TraceCounter =
+    TraceCounter::new("serve.cache.insertions", MetricClass::Deterministic);
 
 /// Exact cache telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,10 +121,13 @@ impl<V: Clone> Shard<V> {
 pub struct EvalCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    insertions: AtomicU64,
+    // Per-instance telemetry lives on m7-trace's always-on counter type
+    // (exact, lock-free); every bump is also mirrored into the global
+    // trace registry under serve.cache.* when tracing is enabled.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    insertions: Counter,
 }
 
 impl<V: Clone> EvalCache<V> {
@@ -136,10 +150,10 @@ impl<V: Clone> EvalCache<V> {
         Self {
             shards,
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            insertions: Counter::new(),
         }
     }
 
@@ -156,11 +170,13 @@ impl<V: Clone> EvalCache<V> {
         let found = self.shard(key).lock().expect("cache shard poisoned").get(key.0);
         match found {
             Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
+                G_HITS.incr();
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
+                G_MISSES.incr();
                 None
             }
         }
@@ -170,9 +186,11 @@ impl<V: Clone> EvalCache<V> {
     /// used entry if the bound requires it.
     pub fn insert(&self, key: CacheKey, value: V) {
         let evicted = self.shard(key).lock().expect("cache shard poisoned").insert(key.0, value);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.incr();
+        G_INSERTIONS.incr();
         if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.incr();
+            G_EVICTIONS.incr();
         }
     }
 
@@ -213,10 +231,10 @@ impl<V: Clone> EvalCache<V> {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            insertions: self.insertions.get(),
             entries: self.len(),
         }
     }

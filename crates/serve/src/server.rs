@@ -23,12 +23,24 @@ use crate::cache::{CacheStats, EvalCache};
 use crate::key::{namespace, EvalRequest};
 use crate::wire::{format_response, parse_request, Request, Response};
 use m7_par::ParConfig;
+use m7_trace::{Counter, MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// Request-lifecycle observability (no-ops until `m7_trace::enable()`).
+// Everything here depends on client arrival order and host scheduling,
+// so it is all diagnostic-class.
+static DISPATCH_SPAN: SpanSite = SpanSite::new("sched.serve.dispatch", MetricClass::Diagnostic);
+static REQUESTS: TraceCounter = TraceCounter::new("serve.requests", MetricClass::Diagnostic);
+static BUSY_SHED: TraceCounter = TraceCounter::new("serve.busy_shed", MetricClass::Diagnostic);
+static QUEUE_WAIT_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.queue_wait_ns", MetricClass::Diagnostic);
+static DISPATCH_BATCH: TraceHistogram =
+    TraceHistogram::new("sched.serve.dispatch_batch", MetricClass::Diagnostic);
 
 /// Upper bound on one wire message; larger requests are rejected.
 const MAX_MESSAGE_BYTES: usize = 64 * 1024;
@@ -94,12 +106,14 @@ impl<F: Fn(&EvalRequest) -> Result<f64, String> + Send + Sync> Evaluator for F {
 /// State shared between the accept thread, the dispatch thread, and the
 /// handle.
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     wake: Condvar,
     stop: AtomicBool,
     /// Deterministic evaluator errors are cached alongside costs: a bad
     /// request is re-answered from memory, not re-evaluated.
     cache: EvalCache<Result<f64, String>>,
+    /// Connections answered `busy` because the pending queue was full.
+    shed: Counter,
     config: ServeConfig,
     evaluator: Arc<dyn Evaluator>,
 }
@@ -130,6 +144,7 @@ impl EvalServer {
             wake: Condvar::new(),
             stop: AtomicBool::new(false),
             cache: EvalCache::new(config.cache_capacity.max(1)),
+            shed: Counter::new(),
             config,
             evaluator,
         });
@@ -159,6 +174,13 @@ impl ServerHandle {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// Exact count of connections shed with `busy` because the pending
+    /// queue was full.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shared.shed.get()
     }
 
     /// Stops the server and joins both service threads.
@@ -227,11 +249,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if queue.len() >= shared.config.max_pending {
             // Shed load explicitly instead of stalling the listener.
             drop(queue);
+            shared.shed.incr();
+            BUSY_SHED.incr();
             let mut stream = stream;
             let _ = stream.write_all(format_response(&Response::Busy).as_bytes());
             continue;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
         drop(queue);
         shared.wake.notify_one();
     }
@@ -249,7 +273,12 @@ fn dispatch_loop(shared: &Shared, addr: SocketAddr) {
             }
             while batch.len() < shared.config.max_batch {
                 match queue.pop_front() {
-                    Some(stream) => batch.push(stream),
+                    Some((stream, enqueued)) => {
+                        QUEUE_WAIT_NS.record(
+                            u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
+                        batch.push(stream);
+                    }
                     None => break,
                 }
             }
@@ -257,6 +286,9 @@ fn dispatch_loop(shared: &Shared, addr: SocketAddr) {
         if batch.is_empty() && shared.stop.load(Ordering::SeqCst) {
             return;
         }
+        let _span = DISPATCH_SPAN.enter();
+        REQUESTS.add(batch.len() as u64);
+        DISPATCH_BATCH.record(batch.len() as u64);
 
         // Read and parse every connection in the batch.
         let mut evals: Vec<(TcpStream, EvalRequest)> = Vec::new();

@@ -15,8 +15,38 @@ use crate::faults::{FaultProfile, FaultSchedule};
 use crate::mission::MissionSpec;
 use crate::uav::{FaultedOutcome, Uav};
 use m7_par::{derive_seed, ParConfig};
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use m7_units::Seconds;
 use serde::{Deserialize, Serialize};
+
+// Campaign observability (no-ops until `m7_trace::enable()`). Fault
+// draws, outcomes, and degradation times are pure functions of the root
+// seed, so every metric here is deterministic-class.
+static CAMPAIGN_SPAN: SpanSite = SpanSite::new("sim.campaign.run", MetricClass::Deterministic);
+static RUNS: TraceCounter = TraceCounter::new("sim.campaign.runs", MetricClass::Deterministic);
+static SUCCESSES: TraceCounter =
+    TraceCounter::new("sim.campaign.successes", MetricClass::Deterministic);
+static SAFE_STOPS: TraceCounter =
+    TraceCounter::new("sim.campaign.safe_stops", MetricClass::Deterministic);
+static CRASHES: TraceCounter =
+    TraceCounter::new("sim.campaign.crashes", MetricClass::Deterministic);
+static RETRIES: TraceCounter =
+    TraceCounter::new("sim.campaign.retries", MetricClass::Deterministic);
+static FAULTS_SCHEDULED: TraceCounter =
+    TraceCounter::new("sim.faults.scheduled", MetricClass::Deterministic);
+static COAST_NS: TraceHistogram =
+    TraceHistogram::new("sim.campaign.coast_ns", MetricClass::Deterministic);
+static FALLBACK_NS: TraceHistogram =
+    TraceHistogram::new("sim.campaign.fallback_ns", MetricClass::Deterministic);
+
+fn seconds_to_ns(s: Seconds) -> u64 {
+    let ns = s.value() * 1e9;
+    if ns.is_finite() && ns >= 0.0 {
+        ns as u64
+    } else {
+        0
+    }
+}
 
 /// Size and environment of a campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,9 +184,11 @@ impl CampaignRunner {
     /// comparison experiment E11 depends on.
     #[must_use]
     pub fn run(&self, root_seed: u64, par: &ParConfig) -> RobustnessReport {
+        let _span = CAMPAIGN_SPAN.enter();
         let outcomes: Vec<FaultedOutcome> = par.par_map_indexed(self.config.runs, |i| {
             let seed = derive_seed(root_seed, i as u64);
             let schedule = FaultSchedule::sample(&self.config.profile, self.config.horizon, seed);
+            FAULTS_SCHEDULED.add(schedule.faults().len() as u64);
             self.uav.fly_degraded(&self.mission, &schedule, &self.policy, seed)
         });
         Self::aggregate(&outcomes)
@@ -168,6 +200,17 @@ impl CampaignRunner {
         let successes = outcomes.iter().filter(|o| o.succeeded()).count();
         let safe_stops = outcomes.iter().filter(|o| o.safe_stopped).count();
         let crashes = outcomes.iter().filter(|o| o.crashed).count();
+        if m7_trace::enabled() {
+            RUNS.add(runs as u64);
+            SUCCESSES.add(successes as u64);
+            SAFE_STOPS.add(safe_stops as u64);
+            CRASHES.add(crashes as u64);
+            for o in outcomes {
+                RETRIES.add(o.retries);
+                COAST_NS.record(seconds_to_ns(o.coast_time));
+                FALLBACK_NS.record(seconds_to_ns(o.fallback_time));
+            }
+        }
         let mean = |f: &dyn Fn(&FaultedOutcome) -> f64| -> f64 {
             outcomes.iter().map(f).sum::<f64>() / runs as f64
         };

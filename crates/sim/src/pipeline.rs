@@ -11,10 +11,44 @@ use crate::faults::FaultSchedule;
 use crate::sensor::SensorSpec;
 use m7_arch::platform::Platform;
 use m7_arch::workload::KernelProfile;
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use m7_units::{Bytes, BytesPerSecond, Hertz, Seconds};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+// Closed-loop pipeline observability (no-ops until `m7_trace::enable()`).
+// Stage latencies and frame totals are pure functions of the pipeline
+// model and seed, so everything here is deterministic-class. The stage
+// span sites also emit one modeled-time frame timeline per simulate
+// call (ingest → compute → actuate on the model's clock).
+static SIM_SPAN: SpanSite = SpanSite::new("sim.pipeline.simulate", MetricClass::Deterministic);
+static INGEST_SPAN: SpanSite = SpanSite::new("sim.pipeline.ingest", MetricClass::Deterministic);
+static COMPUTE_SPAN: SpanSite = SpanSite::new("sim.pipeline.compute", MetricClass::Deterministic);
+static ACTUATE_SPAN: SpanSite = SpanSite::new("sim.pipeline.actuate", MetricClass::Deterministic);
+static INGEST_NS: TraceHistogram =
+    TraceHistogram::new("sim.pipeline.ingest_ns", MetricClass::Deterministic);
+static COMPUTE_NS: TraceHistogram =
+    TraceHistogram::new("sim.pipeline.compute_ns", MetricClass::Deterministic);
+static ACTUATE_NS: TraceHistogram =
+    TraceHistogram::new("sim.pipeline.actuate_ns", MetricClass::Deterministic);
+static FRAMES_IN: TraceCounter =
+    TraceCounter::new("sim.pipeline.frames_in", MetricClass::Deterministic);
+static FRAMES_PROCESSED: TraceCounter =
+    TraceCounter::new("sim.pipeline.frames_processed", MetricClass::Deterministic);
+static FRAMES_DROPPED: TraceCounter =
+    TraceCounter::new("sim.pipeline.frames_dropped", MetricClass::Deterministic);
+static FRAMES_LOST: TraceCounter =
+    TraceCounter::new("sim.pipeline.frames_lost", MetricClass::Deterministic);
+
+fn seconds_to_ns(s: Seconds) -> u64 {
+    let ns = s.value() * 1e9;
+    if ns.is_finite() && ns >= 0.0 {
+        ns as u64
+    } else {
+        0
+    }
+}
 
 /// Per-stage latency budget of one frame through the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -192,7 +226,13 @@ impl Pipeline {
         let ingest = self.marshalling_overhead
             + Seconds::new(payload.value() / self.marshalling_bandwidth.value());
         let compute = self.platform.estimate(&self.kernel).latency / self.kernel_speedup;
-        LatencyBudget { ingest, compute, actuate: self.actuation_latency }
+        let budget = LatencyBudget { ingest, compute, actuate: self.actuation_latency };
+        if m7_trace::enabled() {
+            INGEST_NS.record(seconds_to_ns(budget.ingest));
+            COMPUTE_NS.record(seconds_to_ns(budget.compute));
+            ACTUATE_NS.record(seconds_to_ns(budget.actuate));
+        }
+        budget
     }
 
     /// End-to-end speedup delivered by a kernel-only speedup of `factor`,
@@ -236,6 +276,7 @@ impl Pipeline {
             Done,
         }
 
+        let _span = SIM_SPAN.enter();
         let budget = self.latency_budget();
         let service = budget.ingest + budget.compute;
         let period = self.sensor.rate().period();
@@ -305,6 +346,22 @@ impl Pipeline {
         } else {
             latencies[((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1)]
         };
+        if m7_trace::enabled() {
+            FRAMES_IN.add(frames_in);
+            FRAMES_PROCESSED.add(frames_processed);
+            FRAMES_DROPPED.add(frames_dropped);
+            FRAMES_LOST.add(frames_lost);
+            // One representative frame's stage timeline on the modeled
+            // clock: ingest, then compute, then actuation settling.
+            let (ingest, compute, actuate) = (
+                seconds_to_ns(budget.ingest),
+                seconds_to_ns(budget.compute),
+                seconds_to_ns(budget.actuate),
+            );
+            INGEST_SPAN.complete_modeled(0, ingest);
+            COMPUTE_SPAN.complete_modeled(ingest, compute);
+            ACTUATE_SPAN.complete_modeled(ingest.saturating_add(compute), actuate);
+        }
         PipelineStats {
             frames_in,
             frames_processed,

@@ -28,7 +28,13 @@ pub mod e9_dse;
 
 use crate::report::Report;
 use m7_par::{derive_seed, ParConfig};
+use m7_trace::{MetricClass, TraceCounter};
 use serde::{Deserialize, Serialize};
+
+// Suite observability (no-ops until `m7_trace::enable()`): one counter
+// for experiments run plus a per-experiment wall span named by slug.
+static EXPERIMENTS: TraceCounter =
+    TraceCounter::new("suite.experiments", MetricClass::Deterministic);
 
 pub use e6_platforms::Timing;
 
@@ -134,6 +140,8 @@ impl ExperimentId {
     /// [`Timing::Modeled`] every report is a pure function of `seed`.
     #[must_use]
     pub fn run_with(self, seed: u64, timing: Timing) -> Report {
+        EXPERIMENTS.incr();
+        let _span = m7_trace::span_dyn(self.slug());
         match self {
             Self::E1Growth => e1_growth::run(seed).report(),
             Self::E2Bridges => e2_bridges::run().report(),
@@ -162,6 +170,8 @@ impl ExperimentId {
     pub fn run_with_cached(self, seed: u64, timing: Timing) -> (Report, u64) {
         match self {
             Self::E9Dse => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
                 let (result, saved) = e9_dse::run_cached(seed);
                 (result.report(), saved)
             }

@@ -1,0 +1,108 @@
+//! Property tests for the tracing layer: histogram bucket laws, exact
+//! count/sum conservation, and span-nesting well-formedness of the
+//! flight recorder's event stream.
+
+use m7_trace::recorder::EventKind;
+use m7_trace::{span_dyn, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global enable flag / recorder.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+proptest! {
+    /// Bucket lower bounds are strictly increasing and every value lands
+    /// in the bucket whose range contains it.
+    #[test]
+    fn bucket_index_respects_bucket_bounds(v in 0u64..=u64::MAX) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(v >= Histogram::bucket_lower_bound(i));
+        if i + 1 < HISTOGRAM_BUCKETS {
+            prop_assert!(v < Histogram::bucket_lower_bound(i + 1));
+        }
+    }
+
+    /// Recording any multiset of values conserves the exact count and
+    /// sum, and the per-bucket counts add back up to the total.
+    #[test]
+    fn histogram_conserves_count_and_sum(values in prop::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let want_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(h.sum(), want_sum);
+        let snap = h.snapshot();
+        let bucket_total: u64 = snap.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, h.count());
+        // Snapshot mirrors the live histogram.
+        prop_assert_eq!(snap.count, h.count());
+        prop_assert_eq!(snap.sum, h.sum());
+        prop_assert_eq!(snap.mean(), h.mean());
+    }
+
+    /// The quantile upper bound is monotone in `p` and an actual upper
+    /// bound for every recorded value at `p = 1`.
+    #[test]
+    fn quantile_upper_bound_is_monotone_and_bounds_max(
+        values in prop::collection::vec(0u64..1 << 48, 1..100),
+        ps in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = ps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let qs: Vec<u64> = sorted.iter().map(|&p| h.quantile_upper_bound(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile bound must be monotone in p: {qs:?}");
+        }
+        let max = *values.iter().max().expect("nonempty");
+        prop_assert!(h.quantile_upper_bound(1.0) >= max);
+    }
+
+    /// Any randomly generated nesting of spans produces a well-formed
+    /// event stream: per-thread Begin/End events follow stack
+    /// discipline with matching names, and timestamps never go
+    /// backwards in sequence order.
+    #[test]
+    fn random_span_nesting_is_well_formed(depths in prop::collection::vec(0usize..4, 1..12)) {
+        let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        m7_trace::enable();
+        m7_trace::reset();
+
+        const NAMES: [&str; 4] = ["prop.a", "prop.b", "prop.c", "prop.d"];
+        // Interpret each entry as "open a span of this name, nested one
+        // level deeper than the previous when possible".
+        fn nest(depths: &[usize]) {
+            let Some((&d, rest)) = depths.split_first() else { return };
+            let _g = span_dyn(NAMES[d]);
+            nest(rest);
+        }
+        nest(&depths);
+
+        let drained = m7_trace::recorder::drain();
+        m7_trace::disable();
+
+        let mut stack: Vec<&str> = Vec::new();
+        let mut last_ts = 0u64;
+        for e in &drained.events {
+            prop_assert_eq!(e.tid, 0, "single-threaded test records on one buffer");
+            match e.kind {
+                EventKind::Begin => stack.push(e.name),
+                EventKind::End => {
+                    let open = stack.pop();
+                    prop_assert_eq!(open, Some(e.name), "End must close the innermost Begin");
+                }
+                _ => {}
+            }
+            prop_assert!(e.ts_ns >= last_ts, "wall timestamps are monotone per thread");
+            last_ts = e.ts_ns;
+        }
+        prop_assert!(stack.is_empty(), "every Begin is closed: {stack:?}");
+        prop_assert_eq!(drained.events.len(), depths.len() * 2);
+    }
+}

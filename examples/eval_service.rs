@@ -18,7 +18,8 @@
 //!
 //! Flags: `--port P`, `--threads N` (evaluation pool size), `--requests
 //! N` (client design points, default 12), `--seed S` (mission seed,
-//! default 42).
+//! default 42), `--trace FILE` (write a chrome://tracing JSON trace on
+//! exit), `--metrics` (dump `key=value` metrics to stderr on exit).
 //!
 //! Protocol: newline-delimited `key = value` pairs, blank-line
 //! terminated — try it by hand with `nc 127.0.0.1 <port>`:
@@ -195,6 +196,8 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut requests = 12usize;
     let mut seed = 42u64;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -227,19 +230,30 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs an output file path");
+                    return ExitCode::from(2);
+                };
+                trace_out = Some(path);
+            }
+            "--metrics" => metrics = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: eval_service \
                      [--serve|--client|--self-test] [--port P] [--threads N] [--requests N] \
-                     [--seed S]"
+                     [--seed S] [--trace FILE] [--metrics]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
+    if trace_out.is_some() || metrics {
+        magseven::trace::enable();
+    }
     let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
-    match mode.as_str() {
+    let code = match mode.as_str() {
         "--serve" => serve(port, par),
         "--client" => {
             if port == 0 {
@@ -249,5 +263,17 @@ fn main() -> ExitCode {
             run_client(port, requests, seed)
         }
         _ => self_test(requests, seed, par),
+    };
+
+    if let Some(path) = trace_out {
+        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
+            eprintln!("failed to write trace to {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote chrome://tracing JSON to {path}");
     }
+    if metrics {
+        eprint!("{}", magseven::trace::kv_dump());
+    }
+    code
 }

@@ -2,13 +2,16 @@
 //! robustness comparison: nominal vs. fault-blind vs. degradation-aware.
 //!
 //! Run with:
-//! `cargo run --release --example fault_campaign [--runs N] [--seed S] [--threads T]`
+//! `cargo run --release --example fault_campaign [--runs N] [--seed S] [--threads T]
+//! [--trace FILE] [--metrics]`
 //!
 //! `--runs` sets the Monte-Carlo draws per design arm (default 32; CI
 //! smoke-tests with a reduced N). The campaign fans runs across the
 //! deterministic pool (`--threads`, else `M7_THREADS`, else all cores),
 //! and the report is byte-identical at any thread count for the same
-//! seed.
+//! seed. `--trace FILE` writes a chrome://tracing JSON trace to FILE and
+//! `--metrics` dumps `key=value` metrics to stderr; both leave stdout
+//! untouched.
 
 use magseven::par::ParConfig;
 use magseven::suite::experiments::e11_robustness;
@@ -17,6 +20,8 @@ fn main() {
     let mut runs = 32usize;
     let mut seed = 42u64;
     let mut threads: Option<usize> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -48,10 +53,18 @@ fn main() {
                 }
                 threads = Some(v);
             }
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs an output file path");
+                    std::process::exit(2);
+                };
+                trace_out = Some(path);
+            }
+            "--metrics" => metrics = true,
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S] \
-                     [--threads T]"
+                     [--threads T] [--trace FILE] [--metrics]"
                 );
                 std::process::exit(2);
             }
@@ -60,6 +73,9 @@ fn main() {
     if runs == 0 {
         eprintln!("--runs must be at least 1");
         std::process::exit(2);
+    }
+    if trace_out.is_some() || metrics {
+        magseven::trace::enable();
     }
     let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
@@ -71,4 +87,15 @@ fn main() {
         result.fault_blind().success_rate(),
         runs
     );
+
+    if let Some(path) = trace_out {
+        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
+            eprintln!("failed to write trace to {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote chrome://tracing JSON to {path}");
+    }
+    if metrics {
+        eprint!("{}", magseven::trace::kv_dump());
+    }
 }

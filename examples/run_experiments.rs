@@ -18,9 +18,18 @@
 //! - `--cached` — route experiments with a memoized evaluation path
 //!   (E9) through their content-addressed cache. Reports stay
 //!   byte-identical; the evaluations saved are printed to stderr.
+//! - `--trace FILE` — enable tracing and write a chrome://tracing JSON
+//!   trace to FILE (load it in Perfetto or `chrome://tracing`).
+//! - `--metrics` — enable tracing and dump all metrics as `key=value`
+//!   lines to stderr after the run.
 //!
-//! A non-flag argument selects experiments by slug prefix; a prefix that
-//! matches nothing is an error on both the serial and parallel paths.
+//! Reports always go to stdout and observability output to a file /
+//! stderr, so the report stream stays byte-identical with tracing on.
+//!
+//! A non-flag argument selects experiments by slug prefix; unknown
+//! `-`-prefixed flags and a second positional argument are errors. A
+//! prefix that matches nothing is an error on both the serial and
+//! parallel paths.
 
 use magseven::par::ParConfig;
 use magseven::suite::experiments::{
@@ -28,12 +37,22 @@ use magseven::suite::experiments::{
     run_selected_serial_cached, select, Timing,
 };
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_experiments [--serial] [--cached] [--measured] [--threads N] \
+         [--trace FILE] [--metrics] [slug-prefix]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let mut serial = false;
     let mut cached = false;
     let mut timing = Timing::Modeled;
     let mut threads: Option<usize> = None;
     let mut filter: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,8 +71,29 @@ fn main() {
                 }
                 threads = Some(v);
             }
-            _ => filter = Some(arg),
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace needs an output file path");
+                    std::process::exit(2);
+                };
+                trace_out = Some(path);
+            }
+            "--metrics" => metrics = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            other => {
+                if let Some(prev) = &filter {
+                    eprintln!("unexpected extra argument {other:?} (filter already {prev:?})");
+                    usage();
+                }
+                filter = Some(other.to_string());
+            }
         }
+    }
+    if trace_out.is_some() || metrics {
+        magseven::trace::enable();
     }
     let seed = 42;
     let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
@@ -94,5 +134,16 @@ fn main() {
         }
         println!("{report}");
         println!("{}", "=".repeat(76));
+    }
+
+    if let Some(path) = trace_out {
+        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
+            eprintln!("failed to write trace to {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote chrome://tracing JSON to {path}");
+    }
+    if metrics {
+        eprint!("{}", magseven::trace::kv_dump());
     }
 }

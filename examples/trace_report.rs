@@ -1,0 +1,79 @@
+//! Traces experiment E7 end-to-end and prints a per-stage latency
+//! breakdown — a worked example of the `m7-trace` observability layer.
+//!
+//! Run with: `cargo run --release --example trace_report [out.json]`
+//!
+//! The example enables tracing, runs E7 (the Amdahl forest-vs-trees
+//! sweep) plus a closed-loop simulation of its lean and heavy-tax
+//! pipelines, then prints:
+//!
+//! 1. the E7 report itself (byte-identical to an untraced run),
+//! 2. a per-stage pipeline latency table read back from the
+//!    `sim.pipeline.*_ns` histograms,
+//! 3. a metrics summary (spans, counters) from the registry, and
+//! 4. writes a chrome://tracing JSON trace to `out.json` (default
+//!    `trace_report.json`) — open it in Perfetto or `chrome://tracing`.
+
+use magseven::suite::experiments::e7_endtoend;
+use magseven::suite::experiments::{ExperimentId, Timing};
+use magseven::units::Seconds;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "trace_report.json".to_string());
+    magseven::trace::enable();
+
+    // 1. The experiment proper — the suite records a `e7_endtoend` span
+    // and the pipeline stages record their modeled latencies.
+    let report = ExperimentId::E7EndToEnd.run_with(42, Timing::Modeled);
+    println!("{report}");
+    println!("{}", "=".repeat(76));
+
+    // 2. Closed-loop runs of the same two pipelines, for queueing
+    // behaviour on top of the per-frame budget.
+    let horizon = Seconds::new(2.0);
+    let lean = e7_endtoend::lean_pipeline().simulate(horizon);
+    let taxed = e7_endtoend::taxed_pipeline().simulate(horizon);
+    println!("closed-loop, {horizon:?} horizon:");
+    for (name, stats) in [("lean", &lean), ("heavy-tax", &taxed)] {
+        println!(
+            "  {name:<9} {} in / {} processed / {} dropped, mean latency {:.3} ms",
+            stats.frames_in,
+            stats.frames_processed,
+            stats.frames_dropped,
+            stats.mean_latency.value() * 1e3,
+        );
+    }
+    println!("{}", "=".repeat(76));
+
+    // 3. Per-stage latency breakdown, read back from the registry's
+    // histograms (nanosecond buckets; mean is exact, p99 a bucket upper
+    // bound).
+    let snap = magseven::trace::snapshot();
+    println!("per-stage pipeline latency (from sim.pipeline.*_ns histograms):");
+    println!("  {:<10} {:>8} {:>14} {:>14}", "stage", "samples", "mean (ms)", "p99 <= (ms)");
+    for stage in ["ingest", "compute", "actuate"] {
+        let name = format!("sim.pipeline.{stage}_ns");
+        let Some(h) = snap.histogram(&name) else {
+            println!("  {stage:<10} (no samples)");
+            continue;
+        };
+        println!(
+            "  {:<10} {:>8} {:>14.4} {:>14.4}",
+            stage,
+            h.count,
+            h.mean() / 1e6,
+            h.quantile_upper_bound(0.99) as f64 / 1e6,
+        );
+    }
+    println!("{}", "=".repeat(76));
+
+    // 4. The full metrics report and the chrome trace.
+    print!("{}", magseven::trace::text_report());
+    match std::fs::write(&out, magseven::trace::chrome_trace_json()) {
+        Ok(()) => println!("wrote chrome://tracing JSON to {out} — open in Perfetto"),
+        Err(err) => {
+            eprintln!("failed to write {out}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
 //! - [`serve`] — memoizing evaluation service: content-addressed result
 //!   cache, request batcher, loopback server ([`m7_serve`])
+//! - [`trace`] — structured tracing, metrics & profiling: spans, typed
+//!   counters/histograms, chrome://tracing export ([`m7_trace`])
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use m7_par as par;
 pub use m7_serve as serve;
 pub use m7_sim as sim;
 pub use m7_suite as suite;
+pub use m7_trace as trace;
 pub use m7_units as units;
 
 /// Commonly used types from every subsystem, for glob import.

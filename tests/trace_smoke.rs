@@ -1,0 +1,38 @@
+//! Trace-output smoke test: run one experiment with tracing enabled,
+//! export the chrome://tracing JSON, and validate its shape — every
+//! Begin paired with a same-name End in LIFO order per track, monotone
+//! timestamps, non-negative Complete durations — plus the presence of
+//! the key metrics in the `key=value` dump.
+
+use magseven::suite::experiments::{e7_endtoend, ExperimentId, Timing};
+use magseven::units::Seconds;
+
+#[test]
+fn chrome_trace_of_one_experiment_validates_and_metrics_dump_has_keys() {
+    magseven::trace::enable();
+    magseven::trace::reset();
+
+    let report = ExperimentId::E7EndToEnd.run_with(42, Timing::Modeled);
+    assert!(!report.to_string().is_empty());
+    // One closed-loop run of E7's pipeline, for modeled-clock stage spans.
+    let stats = e7_endtoend::lean_pipeline().simulate(Seconds::new(1.0));
+    assert!(stats.frames_processed > 0);
+
+    let json = magseven::trace::chrome_trace_json();
+    let summary = magseven::trace::validate_chrome_trace(&json)
+        .expect("exported chrome trace must satisfy the shape validator");
+    assert!(summary.wall_spans > 0, "E7 must record at least one wall span");
+    assert!(summary.modeled_spans > 0, "the pipeline must record modeled stage spans");
+
+    let dump = magseven::trace::kv_dump();
+    for key in [
+        "suite.experiments = 1",
+        "e7_endtoend.spans = 1",
+        "sim.pipeline.ingest_ns.count",
+        "sim.pipeline.compute_ns.count",
+        "sim.pipeline.actuate_ns.count",
+        "trace.dropped_events = 0",
+    ] {
+        assert!(dump.contains(key), "kv dump must contain {key:?}; got:\n{dump}");
+    }
+}
