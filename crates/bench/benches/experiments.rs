@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use m7_bench::BENCH_SEED;
 use m7_suite::experiments::{
-    e10_contention, e1_growth, e2_bridges, e3_metrics, e4_widgetism, e5_brakes, e6_platforms,
-    e7_endtoend, e8_global, e9_dse,
+    e10_contention, e12_scenarios, e1_growth, e2_bridges, e3_metrics, e4_widgetism, e5_brakes,
+    e6_platforms, e7_endtoend, e8_global, e9_dse,
 };
 use std::hint::black_box;
 
@@ -76,6 +76,15 @@ fn bench_e10_contention(c: &mut Criterion) {
     });
 }
 
+fn bench_e12_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_scenarios");
+    group.sample_size(10);
+    group.bench_function("generators_and_falsification", |b| {
+        b.iter(|| black_box(e12_scenarios::run(black_box(BENCH_SEED))))
+    });
+    group.finish();
+}
+
 criterion_group!(
     experiments,
     bench_e1_growth,
@@ -88,5 +97,6 @@ criterion_group!(
     bench_e8_global,
     bench_e9_dse,
     bench_e10_contention,
+    bench_e12_scenarios,
 );
 criterion_main!(experiments);

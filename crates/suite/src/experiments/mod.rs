@@ -13,9 +13,11 @@
 //! | E9 | §3.1 ML for design | surrogate-guided DSE is more sample-efficient |
 //! | E10 | §2.4 + §3.1 | accelerators contend — per-unit throughput degrades |
 //! | E11 | §2.6 | graceful degradation dominates fault-blind on mission success |
+//! | E12 | §2.1 + §3.1 | procedural scenarios grade tiers; falsification finds the failure frontier |
 
 pub mod e10_contention;
 pub mod e11_robustness;
+pub mod e12_scenarios;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -73,11 +75,13 @@ pub enum ExperimentId {
     E10Contention,
     /// E11 — robustness under injected faults (Challenge 6).
     E11Robustness,
+    /// E12 — procedural scenario supply and falsification (§2.1 + §3.1).
+    E12Scenarios,
 }
 
 impl ExperimentId {
     /// All experiments, in paper order.
-    pub const ALL: [Self; 11] = [
+    pub const ALL: [Self; 12] = [
         Self::E1Growth,
         Self::E2Bridges,
         Self::E3Metrics,
@@ -89,6 +93,7 @@ impl ExperimentId {
         Self::E9Dse,
         Self::E10Contention,
         Self::E11Robustness,
+        Self::E12Scenarios,
     ];
 
     /// Short identifier used in file names and bench targets.
@@ -106,6 +111,7 @@ impl ExperimentId {
             Self::E9Dse => "e9_dse",
             Self::E10Contention => "e10_contention",
             Self::E11Robustness => "e11_robustness",
+            Self::E12Scenarios => "e12_scenarios",
         }
     }
 
@@ -125,6 +131,9 @@ impl ExperimentId {
             Self::E10Contention => "§2.4: accelerators are not free — shared-bus contention",
             Self::E11Robustness => {
                 "§2.6: graceful degradation beats fault-blind designs on mission success"
+            }
+            Self::E12Scenarios => {
+                "§2.1+§3.1: procedural scenarios grade tiers; falsification finds the frontier"
             }
         }
     }
@@ -156,11 +165,13 @@ impl ExperimentId {
             Self::E9Dse => e9_dse::run(seed).report(),
             Self::E10Contention => e10_contention::run().report(),
             Self::E11Robustness => e11_robustness::run(seed).report(),
+            Self::E12Scenarios => e12_scenarios::run(seed).report(),
         }
     }
 
     /// [`ExperimentId::run_with`], routing experiments with a memoized
-    /// evaluation path (today: E9) through their content-addressed cache.
+    /// evaluation path (today: E9 and E12) through their content-addressed
+    /// caches.
     ///
     /// Returns the report — byte-identical to [`ExperimentId::run_with`]
     /// for the same arguments, because memoization only skips re-scoring
@@ -173,6 +184,12 @@ impl ExperimentId {
                 EXPERIMENTS.incr();
                 let _span = m7_trace::span_dyn(self.slug());
                 let (result, saved) = e9_dse::run_cached(seed);
+                (result.report(), saved)
+            }
+            Self::E12Scenarios => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
+                let (result, saved) = e12_scenarios::run_cached(seed);
                 (result.report(), saved)
             }
             other => (other.run_with(seed, timing), 0),
@@ -259,7 +276,8 @@ pub fn run_selected_parallel(
     Ok(par.par_map(ids, |&id| (id, id.run_with(experiment_seed(root_seed, id), timing))))
 }
 
-/// [`run_selected_serial`], routing cached experiments (today: E9)
+/// [`run_selected_serial`], routing cached experiments (today: E9 and
+/// E12)
 /// through their memoized path. Each tuple carries the evaluations the
 /// cache saved for that experiment; reports are byte-identical to the
 /// uncached runner.
@@ -284,7 +302,8 @@ pub fn run_selected_serial_cached(
         .collect())
 }
 
-/// [`run_selected_parallel`], routing cached experiments (today: E9)
+/// [`run_selected_parallel`], routing cached experiments (today: E9 and
+/// E12)
 /// through their memoized path on the deterministic pool. Reports and
 /// saved-evaluation counts are identical to
 /// [`run_selected_serial_cached`] at any thread count.
@@ -368,10 +387,15 @@ mod tests {
     fn select_resolves_prefixes_and_defaults_to_all() {
         assert_eq!(select(None).unwrap(), ExperimentId::ALL.to_vec());
         assert_eq!(select(Some("e5")).unwrap(), vec![ExperimentId::E5Brakes]);
-        // "e1" prefixes e1, e10, and e11.
+        // "e1" prefixes e1, e10, e11, and e12.
         assert_eq!(
             select(Some("e1")).unwrap(),
-            vec![ExperimentId::E1Growth, ExperimentId::E10Contention, ExperimentId::E11Robustness]
+            vec![
+                ExperimentId::E1Growth,
+                ExperimentId::E10Contention,
+                ExperimentId::E11Robustness,
+                ExperimentId::E12Scenarios,
+            ]
         );
     }
 
@@ -383,15 +407,15 @@ mod tests {
     }
 
     #[test]
-    fn cached_runner_reports_match_uncached_and_only_e9_saves() {
-        let ids = [ExperimentId::E5Brakes, ExperimentId::E9Dse];
+    fn cached_runner_reports_match_uncached_and_only_cached_paths_save() {
+        let ids = [ExperimentId::E5Brakes, ExperimentId::E9Dse, ExperimentId::E12Scenarios];
         let plain = run_selected_serial(&ids, 42, Timing::Modeled).unwrap();
         let cached = run_selected_serial_cached(&ids, 42, Timing::Modeled).unwrap();
         for ((id, report), (cid, creport, saved)) in plain.iter().zip(&cached) {
             assert_eq!(id, cid);
             assert_eq!(report.to_string(), creport.to_string(), "{id}: report must not change");
-            if *cid == ExperimentId::E9Dse {
-                assert!(*saved > 0, "E9 must save evaluations");
+            if matches!(cid, ExperimentId::E9Dse | ExperimentId::E12Scenarios) {
+                assert!(*saved > 0, "{cid} must save evaluations");
             } else {
                 assert_eq!(*saved, 0, "{id} has no cached path");
             }

@@ -47,11 +47,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub use cli::ObsFlags;
 pub use export::{chrome_trace_json, kv_dump, text_report, validate_chrome_trace, TraceSummary};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricClass, MetricEntry, MetricValue,

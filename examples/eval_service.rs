@@ -39,6 +39,7 @@ use magseven::serve::key::EvalRequest;
 use magseven::serve::server::{EvalClient, EvalServer, Evaluator, ServeConfig};
 use magseven::serve::wire::Response;
 use magseven::suite::experiments::e9_dse;
+use magseven::trace::ObsFlags;
 
 /// The served objective: E9's mission-level cost over (tier, battery_wh,
 /// rotor_m2, sensor_m), validated before indexing anything.
@@ -193,11 +194,9 @@ fn self_test(requests: usize, seed: u64, par: ParConfig) -> ExitCode {
 fn main() -> ExitCode {
     let mut mode = "--self-test".to_string();
     let mut port = 0u16;
-    let mut threads: Option<usize> = None;
     let mut requests = 12usize;
     let mut seed = 42u64;
-    let mut trace_out: Option<String> = None;
-    let mut metrics = false;
+    let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -208,13 +207,6 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 port = v;
-            }
-            "--threads" => {
-                let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
-                    eprintln!("--threads needs a positive integer");
-                    return ExitCode::from(2);
-                };
-                threads = Some(v);
             }
             "--requests" => {
                 let Some(v) = args.next().and_then(|v| v.parse().ok()).filter(|&v| v > 0) else {
@@ -230,14 +222,7 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
-            "--trace" => {
-                let Some(path) = args.next() else {
-                    eprintln!("--trace needs an output file path");
-                    return ExitCode::from(2);
-                };
-                trace_out = Some(path);
-            }
-            "--metrics" => metrics = true,
+            s if obs.consume(s, &mut args) => {}
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: eval_service \
@@ -248,10 +233,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if trace_out.is_some() || metrics {
-        magseven::trace::enable();
-    }
-    let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
+    obs.activate();
+    let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     let code = match mode.as_str() {
         "--serve" => serve(port, par),
@@ -265,15 +248,8 @@ fn main() -> ExitCode {
         _ => self_test(requests, seed, par),
     };
 
-    if let Some(path) = trace_out {
-        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
-            eprintln!("failed to write trace to {path}: {err}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote chrome://tracing JSON to {path}");
-    }
-    if metrics {
-        eprint!("{}", magseven::trace::kv_dump());
+    if !obs.finish() {
+        return ExitCode::FAILURE;
     }
     code
 }

@@ -15,13 +15,12 @@
 
 use magseven::par::ParConfig;
 use magseven::suite::experiments::e11_robustness;
+use magseven::trace::ObsFlags;
 
 fn main() {
     let mut runs = 32usize;
     let mut seed = 42u64;
-    let mut threads: Option<usize> = None;
-    let mut trace_out: Option<String> = None;
-    let mut metrics = false;
+    let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -41,26 +40,7 @@ fn main() {
                 };
                 seed = v;
             }
-            "--threads" => {
-                let v = args.next().and_then(|v| v.parse().ok());
-                let Some(v) = v else {
-                    eprintln!("--threads needs a positive integer");
-                    std::process::exit(2);
-                };
-                if v == 0 {
-                    eprintln!("--threads must be at least 1");
-                    std::process::exit(2);
-                }
-                threads = Some(v);
-            }
-            "--trace" => {
-                let Some(path) = args.next() else {
-                    eprintln!("--trace needs an output file path");
-                    std::process::exit(2);
-                };
-                trace_out = Some(path);
-            }
-            "--metrics" => metrics = true,
+            s if obs.consume(s, &mut args) => {}
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S] \
@@ -74,10 +54,8 @@ fn main() {
         eprintln!("--runs must be at least 1");
         std::process::exit(2);
     }
-    if trace_out.is_some() || metrics {
-        magseven::trace::enable();
-    }
-    let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
+    obs.activate();
+    let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     let result = e11_robustness::run_with_runs_par(seed, runs, par);
     println!("{}", result.report());
@@ -88,14 +66,7 @@ fn main() {
         runs
     );
 
-    if let Some(path) = trace_out {
-        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
-            eprintln!("failed to write trace to {path}: {err}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote chrome://tracing JSON to {path}");
-    }
-    if metrics {
-        eprint!("{}", magseven::trace::kv_dump());
+    if !obs.finish() {
+        std::process::exit(1);
     }
 }

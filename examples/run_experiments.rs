@@ -1,10 +1,10 @@
-//! Regenerates every paper-anchored experiment (E1-E11) and prints the
+//! Regenerates every paper-anchored experiment (E1-E12) and prints the
 //! full reports — the repository's equivalent of rebuilding all of the
 //! paper's figures in one command.
 //!
 //! Run with: `cargo run --release --example run_experiments [flags] [e5]`
 //!
-//! By default the eleven experiments run **concurrently** on the
+//! By default the twelve experiments run **concurrently** on the
 //! deterministic pool (thread count from `M7_THREADS`, else all cores)
 //! with cost-modeled E6 build times, so the output is byte-identical to
 //! the serial run for the same seed. Flags:
@@ -16,7 +16,7 @@
 //! - `--threads N` — size the deterministic pool explicitly (overrides
 //!   `M7_THREADS`; the reports do not change, only wall-clock time).
 //! - `--cached` — route experiments with a memoized evaluation path
-//!   (E9) through their content-addressed cache. Reports stay
+//!   (E9, E12) through their content-addressed caches. Reports stay
 //!   byte-identical; the evaluations saved are printed to stderr.
 //! - `--trace FILE` — enable tracing and write a chrome://tracing JSON
 //!   trace to FILE (load it in Perfetto or `chrome://tracing`).
@@ -36,6 +36,7 @@ use magseven::suite::experiments::{
     run_selected_parallel, run_selected_parallel_cached, run_selected_serial,
     run_selected_serial_cached, select, Timing,
 };
+use magseven::trace::ObsFlags;
 
 fn usage() -> ! {
     eprintln!(
@@ -49,36 +50,15 @@ fn main() {
     let mut serial = false;
     let mut cached = false;
     let mut timing = Timing::Modeled;
-    let mut threads: Option<usize> = None;
     let mut filter: Option<String> = None;
-    let mut trace_out: Option<String> = None;
-    let mut metrics = false;
+    let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--serial" => serial = true,
             "--cached" => cached = true,
             "--measured" => timing = Timing::Measured,
-            "--threads" => {
-                let v = args.next().and_then(|v| v.parse().ok());
-                let Some(v) = v else {
-                    eprintln!("--threads needs a positive integer");
-                    std::process::exit(2);
-                };
-                if v == 0 {
-                    eprintln!("--threads must be at least 1");
-                    std::process::exit(2);
-                }
-                threads = Some(v);
-            }
-            "--trace" => {
-                let Some(path) = args.next() else {
-                    eprintln!("--trace needs an output file path");
-                    std::process::exit(2);
-                };
-                trace_out = Some(path);
-            }
-            "--metrics" => metrics = true,
+            s if obs.consume(s, &mut args) => {}
             other if other.starts_with('-') => {
                 eprintln!("unknown flag: {other}");
                 usage();
@@ -92,11 +72,9 @@ fn main() {
             }
         }
     }
-    if trace_out.is_some() || metrics {
-        magseven::trace::enable();
-    }
+    obs.activate();
     let seed = 42;
-    let par = threads.map_or_else(ParConfig::default, ParConfig::with_threads);
+    let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     // An experiment always runs on the seed of its paper-order position,
     // so a filtered run reproduces the corresponding full-run reports.
@@ -136,14 +114,7 @@ fn main() {
         println!("{}", "=".repeat(76));
     }
 
-    if let Some(path) = trace_out {
-        if let Err(err) = std::fs::write(&path, magseven::trace::chrome_trace_json()) {
-            eprintln!("failed to write trace to {path}: {err}");
-            std::process::exit(1);
-        }
-        eprintln!("wrote chrome://tracing JSON to {path}");
-    }
-    if metrics {
-        eprint!("{}", magseven::trace::kv_dump());
+    if !obs.finish() {
+        std::process::exit(1);
     }
 }

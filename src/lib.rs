@@ -13,8 +13,10 @@
 //! - [`sim`] — end-to-end closed-loop simulator ([`m7_sim`])
 //! - [`dse`] — design-space exploration ([`m7_dse`])
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
-//! - [`suite`] — benchmark suite and experiments E1..E11 ([`m7_suite`])
+//! - [`suite`] — benchmark suite and experiments E1..E12 ([`m7_suite`])
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
+//! - [`scen`] — procedural scenario generation, scenario DSL, and
+//!   adversarial falsification ([`m7_scen`])
 //! - [`serve`] — memoizing evaluation service: content-addressed result
 //!   cache, request batcher, loopback server ([`m7_serve`])
 //! - [`trace`] — structured tracing, metrics & profiling: spans, typed
@@ -37,6 +39,7 @@ pub use m7_dse as dse;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
 pub use m7_par as par;
+pub use m7_scen as scen;
 pub use m7_serve as serve;
 pub use m7_sim as sim;
 pub use m7_suite as suite;
@@ -74,6 +77,10 @@ pub mod prelude {
         fleet::FleetModel,
     };
     pub use m7_par::ParConfig;
+    pub use m7_scen::{
+        evaluate_rover, evaluate_uav, falsify, generate, Falsification, FalsifyConfig, Family,
+        ScenOutcome, Scenario,
+    };
     pub use m7_serve::{
         batch::evaluate_batch_memo,
         cache::{CacheStats, EvalCache},

@@ -1,5 +1,5 @@
 //! Golden-report regression suite: the seed-42, cost-modeled report text
-//! of every experiment (E1–E11) is pinned under `tests/golden/`, one file
+//! of every experiment (E1–E12) is pinned under `tests/golden/`, one file
 //! per slug. Any drift in a model, a kernel, the fault layer, or the
 //! report renderer fails the diff with a first-divergence pointer.
 //!

@@ -1,5 +1,5 @@
 //! Thread-count invariance of the observability layer: with tracing
-//! enabled, running the full experiment suite (E1–E11) on a 1-thread
+//! enabled, running the full experiment suite (E1–E12) on a 1-thread
 //! and an 8-thread pool must produce byte-identical reports AND
 //! identical deterministic-class aggregate metrics.
 //!
