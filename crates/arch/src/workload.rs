@@ -126,6 +126,23 @@ impl KernelProfile {
         )
     }
 
+    /// Brute-force BRIEF descriptor matching: `queries × candidates`
+    /// 256-bit Hamming distances (~12 integer ops per pair: 4 XOR,
+    /// 4 popcount, 3 adds, 1 compare).
+    #[must_use]
+    pub fn descriptor_match(queries: usize, candidates: usize) -> Self {
+        let pairs = queries as f64 * candidates as f64;
+        Self::new(
+            format!("brief-match-{queries}x{candidates}"),
+            KernelFamily::Other,
+            Ops::new(12.0 * pairs),
+            // 32-byte descriptors: queries streamed once, candidate set
+            // re-read per query from cache.
+            Bytes::new(32.0 * (queries as f64 + candidates as f64)),
+            0.98,
+        )
+    }
+
     /// One EKF-SLAM correction with an `n`-dimensional state.
     #[must_use]
     pub fn ekf_update(state_dim: usize) -> Self {

@@ -1,10 +1,15 @@
-//! Benchmark support crate: the Criterion targets live in `benches/`.
+//! Benchmark support crate: the roofline harness lives in [`roofline`];
+//! the Criterion targets live in `benches/`.
 //!
+//! - [`roofline`] — the measured-vs-modeled harness behind experiment
+//!   E13 and the repo-root `BENCH_roofline.json` (run via
+//!   `examples/roofline_report.rs`).
 //! - `benches/experiments.rs` — one benchmark per paper experiment
 //!   (E1-E10), timing a full regeneration of each figure/table
 //!   equivalent.
 //! - `benches/kernels.rs` — micro-benches of the autonomy kernels,
-//!   including the scalar-vs-batched collision ablation behind E6.
+//!   including the scalar-vs-batched collision ablation behind E6 and
+//!   the scalar-vs-lane pairs for the vectorized kernels.
 //! - `benches/sim.rs` — closed-loop UAV missions and pipeline
 //!   simulations.
 //!
@@ -12,6 +17,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod roofline;
 
 /// Default seed shared by all benchmark workloads so that Criterion
 /// compares like against like across runs.

@@ -92,14 +92,9 @@ impl Layer {
 
     /// Returns a copy with weights fake-quantized at `precision`.
     fn quantized(&self, precision: Precision) -> Self {
-        let Some(levels) = precision.max_level() else {
+        let Some((scale, levels)) = self.quant_params(precision) else {
             return self.clone();
         };
-        let max_abs = self.weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
-        if max_abs == 0.0 {
-            return self.clone();
-        }
-        let scale = max_abs / levels;
         let weights = self
             .weights
             .iter()
@@ -107,6 +102,76 @@ impl Layer {
             .collect();
         Self { weights, ..self.clone() }
     }
+
+    /// Symmetric quantization grid for this layer at `precision`:
+    /// `(scale, levels)`, or `None` when the weights pass through
+    /// unquantized (floating point, or an all-zero layer).
+    fn quant_params(&self, precision: Precision) -> Option<(f64, f64)> {
+        let levels = precision.max_level()?;
+        let max_abs = self.weights.iter().fold(0.0f64, |m, w| m.max(w.abs()));
+        if max_abs == 0.0 {
+            return None;
+        }
+        Some((max_abs / levels, levels))
+    }
+
+    /// Packs the weights transposed (`wt[j * outputs + o] = w[o][j]`,
+    /// SoA over the input index) into `wt`, quantizing on the fly —
+    /// no intermediate quantized `Layer` clone. The fake-quantization
+    /// expression is the same as [`Layer::quantized`], so the packed
+    /// values are bit-identical to that path.
+    fn pack_transposed(&self, precision: Precision, wt: &mut Vec<f64>) {
+        wt.clear();
+        wt.resize(self.weights.len(), 0.0);
+        match self.quant_params(precision) {
+            None => {
+                for o in 0..self.outputs {
+                    for j in 0..self.inputs {
+                        wt[j * self.outputs + o] = self.weights[o * self.inputs + j];
+                    }
+                }
+            }
+            Some((scale, levels)) => {
+                for o in 0..self.outputs {
+                    for j in 0..self.inputs {
+                        let w = self.weights[o * self.inputs + j];
+                        wt[j * self.outputs + o] =
+                            (w / scale).round().clamp(-levels, levels) * scale;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass over transposed weights: initialize with the biases,
+    /// then accumulate one SAXPY per input element — the inner loop walks
+    /// a contiguous `wt` row across *all* outputs, a unit-stride mul-add
+    /// chain the autovectorizer turns into packed FMAs.
+    ///
+    /// Each output still sums its terms in ascending-`j` order, exactly
+    /// like the row-major dot product in [`Layer::forward`], so the
+    /// result is bit-identical.
+    fn forward_transposed(&self, input: &[f64], wt: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.biases);
+        for (j, &x) in input.iter().enumerate() {
+            let row = &wt[j * self.outputs..(j + 1) * self.outputs];
+            for (acc, &w) in out.iter_mut().zip(row) {
+                *acc += w * x;
+            }
+        }
+    }
+}
+
+/// Reusable forward-pass workspace: ping-pong activation buffers plus the
+/// transposed (possibly fake-quantized) weight buffer of the layer being
+/// evaluated. One scratch amortizes all per-inference allocation across a
+/// whole dataset — the hot path allocates nothing after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    wt: Vec<f64>,
+    a: Vec<f64>,
+    b: Vec<f64>,
 }
 
 /// A ReLU multilayer perceptron classifier.
@@ -175,11 +240,113 @@ impl Mlp {
 
     /// Class logits for one input at the given weight precision.
     ///
+    /// Convenience wrapper over [`Mlp::forward_into`] with a throwaway
+    /// scratch; use the `_into` variant (or [`Mlp::forward_batch_into`])
+    /// on hot paths to amortize the buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.input_dim()`.
     #[must_use]
     pub fn forward(&self, input: &[f64], precision: Precision) -> Vec<f64> {
+        let mut scratch = MlpScratch::default();
+        self.forward_into(input, precision, &mut scratch).to_vec()
+    }
+
+    /// Class logits for one input, written into `scratch` — no per-layer
+    /// allocation: activations ping-pong between two reused buffers and
+    /// quantization happens while packing the transposed weight buffer,
+    /// never by cloning a layer.
+    ///
+    /// Bit-identical to [`Mlp::forward_reference`] (the SAXPY layer walk
+    /// preserves each output's summation order, and the on-the-fly
+    /// quantization applies the same grid expression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn forward_into<'s>(
+        &self,
+        input: &[f64],
+        precision: Precision,
+        scratch: &'s mut MlpScratch,
+    ) -> &'s [f64] {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let MlpScratch { wt, a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(input);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.pack_transposed(precision, wt);
+            layer.forward_transposed(a, wt, b);
+            if i != last {
+                for v in b.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            core::mem::swap(a, b);
+        }
+        a
+    }
+
+    /// Batched class logits: `inputs` holds `batch` examples row-major
+    /// (`batch × input_dim`), the result is `batch × classes` row-major.
+    ///
+    /// Each layer's transposed weight buffer is packed **once** for the
+    /// whole batch, so per-example cost is pure mul-add over contiguous
+    /// rows. Row `s` of the output is bit-identical to
+    /// `forward(&inputs[s * dim..][..dim], precision)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of the input dimension.
+    pub fn forward_batch_into<'s>(
+        &self,
+        inputs: &[f64],
+        precision: Precision,
+        scratch: &'s mut MlpScratch,
+    ) -> &'s [f64] {
+        let dim = self.input_dim();
+        assert_eq!(inputs.len() % dim, 0, "input batch must be a multiple of the input dimension");
+        let batch = inputs.len() / dim;
+        let MlpScratch { wt, a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(inputs);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.pack_transposed(precision, wt);
+            b.clear();
+            for s in 0..batch {
+                let x = &a[s * layer.inputs..(s + 1) * layer.inputs];
+                let start = b.len();
+                b.extend_from_slice(&layer.biases);
+                let out = &mut b[start..];
+                for (j, &xv) in x.iter().enumerate() {
+                    let row = &wt[j * layer.outputs..(j + 1) * layer.outputs];
+                    for (acc, &w) in out.iter_mut().zip(row) {
+                        *acc += w * xv;
+                    }
+                }
+            }
+            if i != last {
+                for v in b.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            core::mem::swap(a, b);
+        }
+        a
+    }
+
+    /// Scalar-reference forward pass: per-layer quantized clone and
+    /// row-major dot products, the original formulation. Kept public as
+    /// the property-tested reference for [`Mlp::forward_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    #[must_use]
+    pub fn forward_reference(&self, input: &[f64], precision: Precision) -> Vec<f64> {
         assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
         let mut current = input.to_vec();
         let mut next = Vec::new();
@@ -204,7 +371,19 @@ impl Mlp {
     /// The argmax class for one input.
     #[must_use]
     pub fn predict(&self, input: &[f64], precision: Precision) -> usize {
-        let logits = self.forward(input, precision);
+        let mut scratch = MlpScratch::default();
+        self.predict_with(input, precision, &mut scratch)
+    }
+
+    /// [`Mlp::predict`] with a caller-provided scratch, for allocation-free
+    /// sweeps over many examples.
+    pub fn predict_with(
+        &self,
+        input: &[f64],
+        precision: Precision,
+        scratch: &mut MlpScratch,
+    ) -> usize {
+        let logits = self.forward_into(input, precision, scratch);
         logits
             .iter()
             .enumerate()
@@ -219,7 +398,11 @@ impl Mlp {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data.iter().filter(|(x, y)| self.predict(x, precision) == **y).count();
+        let mut scratch = MlpScratch::default();
+        let correct = data
+            .iter()
+            .filter(|(x, y)| self.predict_with(x, precision, &mut scratch) == **y)
+            .count();
         correct as f64 / data.len() as f64
     }
 
@@ -466,6 +649,58 @@ mod tests {
         let mut model = Mlp::new(&[2, 16, 6], 4);
         let epochs = model.epochs_to_accuracy(&data, 0.95, 0.05, Precision::Int2, 60);
         assert!(epochs.is_none(), "2-bit weights cannot express a 95% 6-class classifier here");
+    }
+
+    /// The scratch-buffer SAXPY forward is bit-identical to the clone-and-
+    /// dot reference at every precision, including an all-zero layer
+    /// (quantization passthrough edge case).
+    #[test]
+    fn scratch_forward_is_bit_identical_to_reference() {
+        let (mlp, data) = trained_model();
+        let mut scratch = MlpScratch::default();
+        for precision in Precision::ALL {
+            for (x, _) in data.iter().take(40) {
+                let fast = mlp.forward_into(x, precision, &mut scratch).to_vec();
+                let reference = mlp.forward_reference(x, precision);
+                assert_eq!(fast, reference, "forward divergence at {precision}");
+            }
+        }
+        // All-zero weights: quant_params must pass through, not divide by 0.
+        let zero = Mlp {
+            layers: vec![Layer {
+                inputs: 2,
+                outputs: 2,
+                weights: vec![0.0; 4],
+                biases: vec![1.0, -1.0],
+            }],
+        };
+        for precision in Precision::ALL {
+            assert_eq!(
+                zero.forward_into(&[3.0, 4.0], precision, &mut scratch),
+                zero.forward_reference(&[3.0, 4.0], precision).as_slice(),
+            );
+        }
+    }
+
+    /// Batched forward rows are bit-identical to per-example forwards.
+    #[test]
+    fn batched_forward_matches_single_forwards() {
+        let (mlp, data) = trained_model();
+        let examples: Vec<&[f64]> = data.iter().take(17).map(|(x, _)| x).collect();
+        let flat: Vec<f64> = examples.iter().flat_map(|x| x.iter().copied()).collect();
+        let mut scratch = MlpScratch::default();
+        for precision in [Precision::F32, Precision::Int8, Precision::Int2] {
+            let batched = mlp.forward_batch_into(&flat, precision, &mut scratch).to_vec();
+            let classes = mlp.classes();
+            assert_eq!(batched.len(), examples.len() * classes);
+            for (s, x) in examples.iter().enumerate() {
+                assert_eq!(
+                    &batched[s * classes..(s + 1) * classes],
+                    mlp.forward(x, precision).as_slice(),
+                    "batch row {s} divergence at {precision}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -279,6 +279,17 @@ impl CollisionWorld {
     }
 }
 
+/// Lane width of the vectorized predicates: four f64 values, one AVX2
+/// register (or two NEON registers). The inner loops below are written as
+/// fixed-width chunks of this size so the autovectorizer can prove the
+/// trip count and emit packed mul-add chains.
+pub const COLLISION_LANES: usize = 4;
+
+/// Obstacles tested branch-free between early-exit checks. A multiple of
+/// [`COLLISION_LANES`]; large enough that the per-block branch is
+/// amortized, small enough that a dense world still exits early.
+const COLLISION_BLOCK: usize = 32;
+
 #[derive(Debug, Default, Clone)]
 struct SoaCircles {
     cx: Vec<f64>,
@@ -291,6 +302,93 @@ impl SoaCircles {
         self.cx.push(center.x);
         self.cy.push(center.y);
         self.r2.push(radius * radius);
+    }
+
+    /// Branch-free lane test: does any circle contain `(px, py)`?
+    ///
+    /// Identical per-circle arithmetic to the scalar reference (same
+    /// expressions, exact comparisons), so the boolean answer is
+    /// bit-identical; only the early-exit granularity changes (per
+    /// [`COLLISION_BLOCK`] instead of per obstacle).
+    fn any_contains(&self, px: f64, py: f64) -> bool {
+        let n = self.cx.len();
+        let mut base = 0;
+        while base < n {
+            let end = (base + COLLISION_BLOCK).min(n);
+            let (cxs, cys, r2s) = (&self.cx[base..end], &self.cy[base..end], &self.r2[base..end]);
+            let mut any = false;
+            let mut lanes = cxs
+                .chunks_exact(COLLISION_LANES)
+                .zip(cys.chunks_exact(COLLISION_LANES))
+                .zip(r2s.chunks_exact(COLLISION_LANES));
+            for ((cx4, cy4), r24) in lanes.by_ref() {
+                let mut hit = false;
+                for l in 0..COLLISION_LANES {
+                    let dx = px - cx4[l];
+                    let dy = py - cy4[l];
+                    hit |= dx * dx + dy * dy <= r24[l];
+                }
+                any |= hit;
+            }
+            let done = cxs.len() - cxs.len() % COLLISION_LANES;
+            for i in done..cxs.len() {
+                let dx = px - cxs[i];
+                let dy = py - cys[i];
+                any |= dx * dx + dy * dy <= r2s[i];
+            }
+            if any {
+                return true;
+            }
+            base = end;
+        }
+        false
+    }
+
+    /// Branch-free lane test: does any circle intersect the segment with
+    /// origin `(ax, ay)`, direction `(dx, dy)`, and `inv_len2 = 1/|d|²`?
+    ///
+    /// Per-circle arithmetic matches the scalar reference expression
+    /// (closest-point projection, clamp, squared distance), so the boolean
+    /// is bit-identical. `clamp` lowers to max/min — no branches inside
+    /// the lane body.
+    fn any_hits_segment(&self, ax: f64, ay: f64, dx: f64, dy: f64, inv_len2: f64) -> bool {
+        let n = self.cx.len();
+        let mut base = 0;
+        while base < n {
+            let end = (base + COLLISION_BLOCK).min(n);
+            let (cxs, cys, r2s) = (&self.cx[base..end], &self.cy[base..end], &self.r2[base..end]);
+            let mut any = false;
+            let mut lanes = cxs
+                .chunks_exact(COLLISION_LANES)
+                .zip(cys.chunks_exact(COLLISION_LANES))
+                .zip(r2s.chunks_exact(COLLISION_LANES));
+            for ((cx4, cy4), r24) in lanes.by_ref() {
+                let mut hit = false;
+                for l in 0..COLLISION_LANES {
+                    let acx = cx4[l] - ax;
+                    let acy = cy4[l] - ay;
+                    let t = ((acx * dx + acy * dy) * inv_len2).clamp(0.0, 1.0);
+                    let px = acx - t * dx;
+                    let py = acy - t * dy;
+                    hit |= px * px + py * py <= r24[l];
+                }
+                any |= hit;
+            }
+            let done = cxs.len() - cxs.len() % COLLISION_LANES;
+            for i in done..cxs.len() {
+                let acx = cxs[i] - ax;
+                let acy = cys[i] - ay;
+                let t = ((acx * dx + acy * dy) * inv_len2).clamp(0.0, 1.0);
+                let px = acx - t * dx;
+                let py = acy - t * dy;
+                any |= px * px + py * py <= r2s[i];
+            }
+            if any {
+                return true;
+            }
+            base = end;
+        }
+        false
     }
 }
 
@@ -308,6 +406,27 @@ impl SoaRects {
         self.min_y.push(min.y);
         self.max_x.push(max.x);
         self.max_y.push(max.y);
+    }
+
+    /// Branch-free lane test: does any rectangle contain `(px, py)`?
+    fn any_contains(&self, px: f64, py: f64) -> bool {
+        let n = self.min_x.len();
+        let mut base = 0;
+        while base < n {
+            let end = (base + COLLISION_BLOCK).min(n);
+            let mut any = false;
+            for i in base..end {
+                any |= px >= self.min_x[i]
+                    && px <= self.max_x[i]
+                    && py >= self.min_y[i]
+                    && py <= self.max_y[i];
+            }
+            if any {
+                return true;
+            }
+            base = end;
+        }
+        false
     }
 }
 
@@ -353,10 +472,57 @@ impl BatchChecker {
         self.len() == 0
     }
 
+    /// Lane point predicate: the workspace bound check, then the
+    /// branch-free [`COLLISION_LANES`]-wide circle and rect sweeps.
+    ///
+    /// Bit-identical to [`BatchChecker::point_free_one_scalar`] — the
+    /// per-obstacle arithmetic is the same expression; only the early-exit
+    /// granularity differs.
+    #[inline]
+    fn point_free_one(&self, p: Vec2) -> bool {
+        if p.x < 0.0 || p.y < 0.0 || p.x > self.width || p.y > self.height {
+            return false;
+        }
+        !self.circles.any_contains(p.x, p.y) && !self.rects.any_contains(p.x, p.y)
+    }
+
+    /// Lane segment predicate: edge geometry hoisted once, then the
+    /// branch-free lane sweep over circles and the slab test over rects.
+    ///
+    /// Bit-identical to [`BatchChecker::segment_free_one_scalar`].
+    #[inline]
+    fn segment_free_one(&self, a: Vec2, b: Vec2) -> bool {
+        let inside = |p: Vec2| p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height;
+        if !inside(a) || !inside(b) {
+            return false;
+        }
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let len2 = dx * dx + dy * dy;
+        let inv_len2 = if len2 == 0.0 { 0.0 } else { 1.0 / len2 };
+        if self.circles.any_hits_segment(a.x, a.y, dx, dy, inv_len2) {
+            return false;
+        }
+        for r in 0..self.rects.min_x.len() {
+            if segment_rect_intersects(
+                a,
+                b,
+                Vec2::new(self.rects.min_x[r], self.rects.min_y[r]),
+                Vec2::new(self.rects.max_x[r], self.rects.max_y[r]),
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Scalar point predicate over the flat SoA arrays: no virtual
     /// dispatch, no per-obstacle pointer chase, square-distance arithmetic
     /// only, and an early exit once any obstacle claims the point.
-    fn point_free_one(&self, p: Vec2) -> bool {
+    ///
+    /// Kept as the property-tested reference for the lane path; exposed
+    /// through [`BatchChecker::points_free_scalar`].
+    fn point_free_one_scalar(&self, p: Vec2) -> bool {
         if p.x < 0.0 || p.y < 0.0 || p.x > self.width || p.y > self.height {
             return false;
         }
@@ -381,7 +547,10 @@ impl BatchChecker {
 
     /// Scalar segment predicate: edge geometry hoisted into registers once,
     /// straight-line closest-point test per circle with early exit.
-    fn segment_free_one(&self, a: Vec2, b: Vec2) -> bool {
+    ///
+    /// Kept as the property-tested reference for the lane path; exposed
+    /// through [`BatchChecker::segments_free_scalar`].
+    fn segment_free_one_scalar(&self, a: Vec2, b: Vec2) -> bool {
         let inside = |p: Vec2| p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height;
         if !inside(a) || !inside(b) {
             return false;
@@ -417,11 +586,21 @@ impl BatchChecker {
 
     /// Batched point query: one boolean per input point.
     ///
-    /// Edge-major iteration over the flat SoA arrays; see
-    /// [`BatchChecker::par_points_free`] for the multi-threaded variant.
+    /// Point-major iteration over the flat SoA arrays, each point running
+    /// the [`COLLISION_LANES`]-wide branch-free sweep; see
+    /// [`BatchChecker::par_points_free`] for the multi-threaded variant and
+    /// [`BatchChecker::points_free_scalar`] for the scalar reference.
     #[must_use]
     pub fn points_free(&self, points: &[Vec2]) -> Vec<bool> {
         points.iter().map(|&p| self.point_free_one(p)).collect()
+    }
+
+    /// Scalar-reference [`BatchChecker::points_free`]: per-obstacle early
+    /// exit, no lane restructuring. Bit-identical output; kept public so
+    /// benchmarks and property tests can diff the two paths.
+    #[must_use]
+    pub fn points_free_scalar(&self, points: &[Vec2]) -> Vec<bool> {
+        points.iter().map(|&p| self.point_free_one_scalar(p)).collect()
     }
 
     /// Batched segment query: one boolean per input edge.
@@ -429,11 +608,19 @@ impl BatchChecker {
     /// Same layout strategy as [`BatchChecker::points_free`]: the obstacle
     /// set lives in contiguous arrays that stay cache-resident across the
     /// whole edge batch, each edge's geometry is hoisted into registers
-    /// once, and the inner loop is a straight-line closest-point test with
-    /// early exit.
+    /// once, and the inner loop is a fixed-width branch-free closest-point
+    /// sweep ([`COLLISION_LANES`] circles per step).
     #[must_use]
     pub fn segments_free(&self, edges: &[(Vec2, Vec2)]) -> Vec<bool> {
         edges.iter().map(|&(a, b)| self.segment_free_one(a, b)).collect()
+    }
+
+    /// Scalar-reference [`BatchChecker::segments_free`]: per-obstacle early
+    /// exit, no lane restructuring. Bit-identical output; kept public so
+    /// benchmarks and property tests can diff the two paths.
+    #[must_use]
+    pub fn segments_free_scalar(&self, edges: &[(Vec2, Vec2)]) -> Vec<bool> {
+        edges.iter().map(|&(a, b)| self.segment_free_one_scalar(a, b)).collect()
     }
 
     /// Multi-threaded [`BatchChecker::points_free`].
@@ -578,7 +765,62 @@ mod tests {
         assert_eq!(pa.points_free(&probe), pb.points_free(&probe));
     }
 
+    /// Lane path vs scalar reference at every chunk remainder length:
+    /// circle counts spanning `len % COLLISION_LANES ∈ {0..LANES-1}` and
+    /// both sides of the block boundary.
+    #[test]
+    fn lane_path_matches_scalar_at_every_remainder() {
+        let probe_pts: Vec<Vec2> =
+            (0..200).map(|i| Vec2::new((i % 20) as f64, (i / 20) as f64 * 2.0)).collect();
+        let probe_edges: Vec<(Vec2, Vec2)> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                (Vec2::new(20.0 * t, 0.0), Vec2::new(20.0 - 20.0 * t, 20.0))
+            })
+            .collect();
+        let counts = (0..=9)
+            .chain(COLLISION_BLOCK - 2..=COLLISION_BLOCK + COLLISION_LANES + 1)
+            .collect::<Vec<_>>();
+        for n in counts {
+            let mut w = CollisionWorld::new(20.0, 20.0);
+            w.scatter_circles(n, 0.3, 2.0, n as u64 + 7);
+            if n % 2 == 0 {
+                w.add_rect(Vec2::new(3.0, 3.0), Vec2::new(4.5, 9.0));
+            }
+            let batch = w.to_batch_checker();
+            assert_eq!(
+                batch.points_free(&probe_pts),
+                batch.points_free_scalar(&probe_pts),
+                "point lane/scalar divergence at {n} circles"
+            );
+            assert_eq!(
+                batch.segments_free(&probe_edges),
+                batch.segments_free_scalar(&probe_edges),
+                "segment lane/scalar divergence at {n} circles"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_lane_kernels_agree_with_scalar_reference(
+            seed in 0u64..500,
+            circles in 0usize..40,
+            edges in prop::collection::vec(((-1.0..21.0f64, -1.0..21.0f64), (-1.0..21.0f64, -1.0..21.0f64)), 1..40),
+        ) {
+            let mut w = CollisionWorld::new(20.0, 20.0);
+            w.scatter_circles(circles, 0.3, 2.5, seed);
+            w.add_rect(Vec2::new(3.0, 3.0), Vec2::new(4.5, 9.0));
+            let batch = w.to_batch_checker();
+            let edges: Vec<(Vec2, Vec2)> = edges
+                .into_iter()
+                .map(|((ax, ay), (bx, by))| (Vec2::new(ax, ay), Vec2::new(bx, by)))
+                .collect();
+            let pts: Vec<Vec2> = edges.iter().map(|&(a, _)| a).collect();
+            prop_assert_eq!(batch.segments_free(&edges), batch.segments_free_scalar(&edges));
+            prop_assert_eq!(batch.points_free(&pts), batch.points_free_scalar(&pts));
+        }
+
         #[test]
         fn prop_batch_agrees_with_scalar(
             seed in 0u64..500,

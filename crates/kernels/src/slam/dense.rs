@@ -121,7 +121,93 @@ impl DenseScanSlam {
 
     /// Brute-force correlation search: the kernel E2's "widget" accelerates.
     fn correlate(&mut self, prior: Pose2, scan: &Scan) -> Pose2 {
+        let (best_pose, evals) = self.match_scan(prior, scan);
+        self.correlation_evals += evals;
+        best_pose
+    }
+
+    /// The correlation search, restructured for the hardware: beam
+    /// endpoint *offsets* depend only on the rotation hypothesis, so the
+    /// `cos`/`sin` per (hypothesis × beam) of the reference implementation
+    /// is hoisted into a per-rotation SoA table computed once per scan.
+    /// The remaining inner loop is add + grid gather.
+    ///
+    /// Returns the matched pose and the number of hypothesis × beam
+    /// evaluations performed. Bit-identical to
+    /// [`DenseScanSlam::match_scan_reference`]: the hoisted offsets are
+    /// the same f64 expressions (`heading` is independent of `tx`/`ty`),
+    /// scores accumulate in the same beam order, and hypotheses are
+    /// visited in the same `ty → tx → tr` order so first-wins
+    /// tie-breaking is preserved.
+    #[must_use]
+    pub fn match_scan(&self, prior: Pose2, scan: &Scan) -> (Pose2, u64) {
         let c = &self.config;
+        let beams = scan.bearings.len();
+        // Rotation hypotheses, enumerated exactly as the reference loop
+        // accumulates them.
+        let mut rots = Vec::new();
+        let mut tr = -c.window_rot;
+        while tr <= c.window_rot + 1e-12 {
+            rots.push(tr);
+            tr += c.step_rot;
+        }
+        // Per-rotation endpoint offsets, SoA: off_x/off_y[k * beams + i].
+        let mut off_x = vec![0.0f64; rots.len() * beams];
+        let mut off_y = vec![0.0f64; rots.len() * beams];
+        for (k, &tr) in rots.iter().enumerate() {
+            let heading = normalize_angle(prior.heading + tr);
+            let (ox, oy) = (&mut off_x[k * beams..], &mut off_y[k * beams..]);
+            for (i, (bearing, range)) in scan.bearings.iter().zip(&scan.ranges).enumerate() {
+                let angle = heading + bearing;
+                ox[i] = range * angle.cos();
+                oy[i] = range * angle.sin();
+            }
+        }
+        let mut evals = 0u64;
+        let mut best_pose = prior;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut ty = -c.window_trans;
+        while ty <= c.window_trans + 1e-12 {
+            let mut tx = -c.window_trans;
+            while tx <= c.window_trans + 1e-12 {
+                for (k, &tr) in rots.iter().enumerate() {
+                    let hypothesis = Pose2::new(
+                        prior.position + Vec2::new(tx, ty),
+                        normalize_angle(prior.heading + tr),
+                    );
+                    let (hx, hy) = (hypothesis.position.x, hypothesis.position.y);
+                    let ox = &off_x[k * beams..k * beams + beams];
+                    let oy = &off_y[k * beams..k * beams + beams];
+                    let mut score = 0.0;
+                    for i in 0..beams {
+                        let endpoint = Vec2::new(hx + ox[i], hy + oy[i]);
+                        if let Some((cx, cy)) = self.grid.cell_of(endpoint) {
+                            score += self.grid.log_odds_at(cx, cy);
+                        } else {
+                            score -= 1.0;
+                        }
+                    }
+                    evals += beams as u64;
+                    if score > best_score {
+                        best_score = score;
+                        best_pose = hypothesis;
+                    }
+                }
+                tx += c.step_trans;
+            }
+            ty += c.step_trans;
+        }
+        (best_pose, evals)
+    }
+
+    /// Scalar-reference correlation search: recomputes `cos`/`sin` for
+    /// every hypothesis × beam pair, exactly as the original kernel did.
+    /// Kept public as the property-tested reference for
+    /// [`DenseScanSlam::match_scan`].
+    #[must_use]
+    pub fn match_scan_reference(&self, prior: Pose2, scan: &Scan) -> (Pose2, u64) {
+        let c = &self.config;
+        let mut evals = 0u64;
         let mut best_pose = prior;
         let mut best_score = f64::NEG_INFINITY;
         let mut ty = -c.window_trans;
@@ -144,7 +230,7 @@ impl DenseScanSlam {
                         } else {
                             score -= 1.0;
                         }
-                        self.correlation_evals += 1;
+                        evals += 1;
                     }
                     if score > best_score {
                         best_score = score;
@@ -156,7 +242,7 @@ impl DenseScanSlam {
             }
             ty += c.step_trans;
         }
-        best_pose
+        (best_pose, evals)
     }
 
     fn integrate(&mut self, scan: &Scan) {
@@ -252,6 +338,30 @@ mod tests {
         let err = slam.pose().position.distance(truth.position);
         assert!(err < 0.5, "dense matcher drifted {err} m");
         assert!(slam.correlation_evals() > 0);
+    }
+
+    /// Hoisted-trig matcher is bit-identical to the per-beam-trig
+    /// reference: same pose, same eval count, over a populated map and a
+    /// sweep of priors (including tie-prone off-grid priors).
+    #[test]
+    fn hoisted_matcher_is_bit_identical_to_reference() {
+        let room_center = Vec2::new(15.0, 15.0);
+        let mut slam = DenseScanSlam::new(DenseSlamConfig::default(), 30.0, 30.0, 0.25);
+        slam.pose = Pose2::new(room_center, 0.0);
+        let scan0 = synthetic_room_scan(slam.pose, room_center, 10.0, 8.0, 90);
+        slam.integrate(&scan0);
+        slam.integrate(&scan0);
+        for (i, beams) in [(0u32, 33usize), (1, 90), (2, 61), (3, 1)] {
+            let truth = Pose2::new(
+                room_center + Vec2::new(0.13 * f64::from(i), -0.07 * f64::from(i)),
+                0.03 * f64::from(i),
+            );
+            let scan = synthetic_room_scan(truth, room_center, 10.0, 8.0, beams);
+            let (fast_pose, fast_evals) = slam.match_scan(truth, &scan);
+            let (ref_pose, ref_evals) = slam.match_scan_reference(truth, &scan);
+            assert_eq!(fast_pose, ref_pose, "pose divergence at prior {i}");
+            assert_eq!(fast_evals, ref_evals, "eval-count divergence at prior {i}");
+        }
     }
 
     #[test]

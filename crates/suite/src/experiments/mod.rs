@@ -14,10 +14,12 @@
 //! | E10 | §2.4 + §3.1 | accelerators contend — per-unit throughput degrades |
 //! | E11 | §2.6 | graceful degradation dominates fault-blind on mission success |
 //! | E12 | §2.1 + §3.1 | procedural scenarios grade tiers; falsification finds the failure frontier |
+//! | E13 | §2.5 | vectorized kernels placed on (and checked against) the roofline |
 
 pub mod e10_contention;
 pub mod e11_robustness;
 pub mod e12_scenarios;
+pub mod e13_roofline;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -77,11 +79,14 @@ pub enum ExperimentId {
     E11Robustness,
     /// E12 — procedural scenario supply and falsification (§2.1 + §3.1).
     E12Scenarios,
+    /// E13 — measured vs modeled roofline for vectorized kernels (§2.5).
+    E13Roofline,
 }
 
 impl ExperimentId {
-    /// All experiments, in paper order.
-    pub const ALL: [Self; 12] = [
+    /// All experiments, in paper order. E13 is appended at the end so the
+    /// position-derived per-experiment seeds of E1-E12 are unchanged.
+    pub const ALL: [Self; 13] = [
         Self::E1Growth,
         Self::E2Bridges,
         Self::E3Metrics,
@@ -94,6 +99,7 @@ impl ExperimentId {
         Self::E10Contention,
         Self::E11Robustness,
         Self::E12Scenarios,
+        Self::E13Roofline,
     ];
 
     /// Short identifier used in file names and bench targets.
@@ -112,6 +118,7 @@ impl ExperimentId {
             Self::E10Contention => "e10_contention",
             Self::E11Robustness => "e11_robustness",
             Self::E12Scenarios => "e12_scenarios",
+            Self::E13Roofline => "e13_roofline",
         }
     }
 
@@ -134,6 +141,9 @@ impl ExperimentId {
             }
             Self::E12Scenarios => {
                 "§2.1+§3.1: procedural scenarios grade tiers; falsification finds the frontier"
+            }
+            Self::E13Roofline => {
+                "§2.5: vectorized kernels placed on (and checked against) the roofline"
             }
         }
     }
@@ -166,6 +176,7 @@ impl ExperimentId {
             Self::E10Contention => e10_contention::run().report(),
             Self::E11Robustness => e11_robustness::run(seed).report(),
             Self::E12Scenarios => e12_scenarios::run(seed).report(),
+            Self::E13Roofline => e13_roofline::run_with(seed, timing).report(),
         }
     }
 
@@ -387,7 +398,7 @@ mod tests {
     fn select_resolves_prefixes_and_defaults_to_all() {
         assert_eq!(select(None).unwrap(), ExperimentId::ALL.to_vec());
         assert_eq!(select(Some("e5")).unwrap(), vec![ExperimentId::E5Brakes]);
-        // "e1" prefixes e1, e10, e11, and e12.
+        // "e1" prefixes e1, e10, e11, e12, and e13.
         assert_eq!(
             select(Some("e1")).unwrap(),
             vec![
@@ -395,6 +406,7 @@ mod tests {
                 ExperimentId::E10Contention,
                 ExperimentId::E11Robustness,
                 ExperimentId::E12Scenarios,
+                ExperimentId::E13Roofline,
             ]
         );
     }

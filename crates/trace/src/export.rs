@@ -281,37 +281,89 @@ pub struct TraceSummary {
 
 // ---- minimal JSON reader (enough for the chrome-trace array shape) ----
 
+/// A parsed JSON value from the crate's minimal zero-dependency reader.
+///
+/// Public so downstream harnesses can structurally validate their own
+/// machine-readable output (e.g. the m7-bench `BENCH_roofline.json`
+/// shape) with the same parser that backs [`validate_chrome_trace`],
+/// without pulling in a serde stack. Parse documents with [`parse_json`].
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (read as `f64`).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array of values.
     Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    /// Field lookup on an object; `None` for other variants or a missing
+    /// key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (rejecting trailing data).
+///
+/// # Errors
+///
+/// Returns a byte-offset description of the first syntax error.
+pub fn parse_json(json: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(json);
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing data after document"));
+    }
+    Ok(doc)
 }
 
 struct Parser<'a> {
@@ -486,12 +538,7 @@ impl<'a> Parser<'a> {
 ///
 /// Returns a description of the first structural violation found.
 pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
-    let mut parser = Parser::new(json);
-    let doc = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.err("trailing data after document"));
-    }
+    let doc = parse_json(json)?;
     let Json::Arr(events) = doc else {
         return Err("top level must be a JSON array".into());
     };

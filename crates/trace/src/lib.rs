@@ -54,7 +54,9 @@ pub mod recorder;
 pub mod span;
 
 pub use cli::ObsFlags;
-pub use export::{chrome_trace_json, kv_dump, text_report, validate_chrome_trace, TraceSummary};
+pub use export::{
+    chrome_trace_json, kv_dump, parse_json, text_report, validate_chrome_trace, Json, TraceSummary,
+};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricClass, MetricEntry, MetricValue,
     MetricsSnapshot, TraceCounter, TraceGauge, TraceHistogram, HISTOGRAM_BUCKETS,

@@ -35,6 +35,7 @@
 //! ```
 
 pub use m7_arch as arch;
+pub use m7_bench as bench;
 pub use m7_dse as dse;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
