@@ -12,6 +12,7 @@ use crate::memo::{dedup_indices, EvalMemo};
 use crate::space::{DesignSpace, PointIndex};
 use crate::surrogate::Forest;
 use m7_par::ParConfig;
+use m7_serve::tier::ResultStore;
 use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use rand::{Rng, SeedableRng};
 
@@ -186,7 +187,7 @@ impl Explorer {
         seed: u64,
         par: ParConfig,
     ) -> SearchResult {
-        self.run_inner(space, objective, budget, seed, par, None)
+        self.run_inner::<m7_serve::cache::EvalCache<f64>>(space, objective, budget, seed, par, None)
     }
 
     /// Runs the search with objective evaluations memoized through a
@@ -195,30 +196,32 @@ impl Explorer {
     /// The returned [`SearchResult`] is **bit-identical** to
     /// [`Explorer::run_with`] for the same arguments — objectives are
     /// pure, so the cache changes only how many times the objective is
-    /// invoked (read the savings off `memo.cache().stats()`). Successive
-    /// searches sharing one memo (as in experiment E9) reuse each
-    /// other's evaluations.
+    /// invoked (read the savings off the store's hit counters).
+    /// Successive searches sharing one memo (as in experiment E9) reuse
+    /// each other's evaluations — and with a disk-backed
+    /// [`m7_serve::tier::TieredCache`] behind the memo, so do successive
+    /// *processes*.
     #[must_use]
-    pub fn run_memoized(
+    pub fn run_memoized<S: ResultStore<f64>>(
         &self,
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
         seed: u64,
         par: ParConfig,
-        memo: &EvalMemo<'_>,
+        memo: &EvalMemo<'_, S>,
     ) -> SearchResult {
         self.run_inner(space, objective, budget, seed, par, Some(memo))
     }
 
-    fn run_inner(
+    fn run_inner<S: ResultStore<f64>>(
         &self,
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
         seed: u64,
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let _span = SEARCH_SPAN.enter();
         SEARCHES.incr();
@@ -270,12 +273,12 @@ impl Explorer {
     /// input index, so the output is identical to the serial
     /// `points.iter().map(...)` loop for any thread count, with or
     /// without the cache.
-    fn evaluate_batch(
+    fn evaluate_batch<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         points: &[PointIndex],
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> Vec<f64> {
         let (unique, assign) = dedup_indices(points);
         BATCH_ITEMS.record(points.len() as u64);
@@ -298,11 +301,11 @@ impl Explorer {
     }
 
     /// Evaluates one point, through the memo when present.
-    fn eval_one(
+    fn eval_one<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         point: &[usize],
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> f64 {
         let values = space.values(point);
         match memo {
@@ -331,12 +334,12 @@ impl Explorer {
         }
     }
 
-    fn run_exhaustive(
+    fn run_exhaustive<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let mut points = space.enumerate();
         points.truncate(budget.max_evaluations);
@@ -344,13 +347,13 @@ impl Explorer {
         Self::collect(points, costs, space)
     }
 
-    fn run_random(
+    fn run_random<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
         seed: u64,
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let points: Vec<PointIndex> =
@@ -359,14 +362,14 @@ impl Explorer {
         Self::collect(points, costs, space)
     }
 
-    fn run_annealing(
+    fn run_annealing<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
         seed: u64,
         t0: f64,
         cooling: f64,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let mut current = space.sample(&mut rng);
@@ -410,7 +413,7 @@ impl Explorer {
     /// deterministic pool, then folds the results back into the parent
     /// pool in index order. Parallelism changes wall-clock only.
     #[allow(clippy::too_many_arguments)]
-    fn run_genetic(
+    fn run_genetic<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
@@ -418,7 +421,7 @@ impl Explorer {
         population: usize,
         mutation_rate: f64,
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let population = population.max(2).min(budget.max_evaluations);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -496,7 +499,7 @@ impl Explorer {
     /// chosen by a serial first-index scan, so ties break identically
     /// at any thread count.
     #[allow(clippy::too_many_arguments)]
-    fn run_surrogate(
+    fn run_surrogate<S: ResultStore<f64>>(
         space: &DesignSpace,
         objective: &dyn Objective,
         budget: SearchBudget,
@@ -505,7 +508,7 @@ impl Explorer {
         candidates: usize,
         kappa: f64,
         par: ParConfig,
-        memo: Option<&EvalMemo<'_>>,
+        memo: Option<&EvalMemo<'_, S>>,
     ) -> SearchResult {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let warmup = warmup.clamp(2, budget.max_evaluations);

@@ -13,9 +13,15 @@
 use crate::space::PointIndex;
 use m7_serve::cache::EvalCache;
 use m7_serve::key::{CacheKey, KeyHasher};
+use m7_serve::tier::ResultStore;
 
 /// A cache handle scoped to one objective: keys mix the namespace with
 /// the design's concrete values (bit-exact, via `to_bits`).
+///
+/// Generic over the backing store: the default is the in-memory
+/// [`EvalCache`], and any [`ResultStore`] — notably the disk-backed
+/// [`m7_serve::tier::TieredCache`] — slots in unchanged, so a search can
+/// reuse results across *processes*, not just across strategies.
 ///
 /// # Examples
 ///
@@ -29,17 +35,25 @@ use m7_serve::key::{CacheKey, KeyHasher};
 /// assert_eq!(memo.key(&[1.0, 2.0]), memo.key(&[1.0, 2.0]));
 /// assert_ne!(memo.key(&[1.0, 2.0]), memo.key(&[1.0, 2.5]));
 /// ```
-#[derive(Clone, Copy)]
-pub struct EvalMemo<'a> {
-    cache: &'a EvalCache<f64>,
+pub struct EvalMemo<'a, S: ResultStore<f64> = EvalCache<f64>> {
+    cache: &'a S,
     namespace: u64,
 }
 
-impl<'a> EvalMemo<'a> {
+// Derived Clone/Copy would require `S: Clone`; the handle is only a
+// reference plus a u64, so implement them directly.
+impl<S: ResultStore<f64>> Clone for EvalMemo<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S: ResultStore<f64>> Copy for EvalMemo<'_, S> {}
+
+impl<'a, S: ResultStore<f64>> EvalMemo<'a, S> {
     /// Binds `cache` under `namespace` (derive one with
     /// [`m7_serve::key::namespace`]).
     #[must_use]
-    pub fn new(cache: &'a EvalCache<f64>, namespace: u64) -> Self {
+    pub fn new(cache: &'a S, namespace: u64) -> Self {
         Self { cache, namespace }
     }
 
@@ -52,9 +66,9 @@ impl<'a> EvalMemo<'a> {
         h.finish()
     }
 
-    /// The underlying cache.
+    /// The underlying store.
     #[must_use]
-    pub fn cache(&self) -> &'a EvalCache<f64> {
+    pub fn cache(&self) -> &'a S {
         self.cache
     }
 
@@ -65,7 +79,7 @@ impl<'a> EvalMemo<'a> {
     }
 }
 
-impl core::fmt::Debug for EvalMemo<'_> {
+impl<S: ResultStore<f64>> core::fmt::Debug for EvalMemo<'_, S> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("EvalMemo").field("namespace", &self.namespace).finish()
     }

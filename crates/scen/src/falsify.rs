@@ -19,6 +19,7 @@ use m7_dse::space::{DesignSpace, Dimension};
 use m7_par::{derive_seed, ParConfig};
 use m7_serve::cache::EvalCache;
 use m7_serve::key::namespace;
+use m7_serve::tier::ResultStore;
 use m7_sim::uav::ComputeTier;
 use m7_trace::span::SpanSite;
 use m7_trace::{MetricClass, TraceCounter};
@@ -122,15 +123,17 @@ pub struct Falsification {
 /// Searches scenario space for the easiest scenario that fails `tier`,
 /// memoizing closed-loop evaluations in `cache` under a namespace
 /// derived from the tier and `seed`. Deterministic in `seed` and
-/// invariant to the thread count of `par`; read savings off
-/// `cache.stats().hits`.
+/// invariant to the thread count of `par`; read savings off the store's
+/// hit counter ([`ResultStore::hits`]). Any [`ResultStore`] works —
+/// including the disk-backed [`m7_serve::tier::TieredCache`], which
+/// carries falsification evaluations across process restarts.
 #[must_use]
-pub fn falsify_memo(
+pub fn falsify_memo<S: ResultStore<f64>>(
     tier: ComputeTier,
     cfg: &FalsifyConfig,
     seed: u64,
     par: ParConfig,
-    cache: &EvalCache<f64>,
+    cache: &S,
 ) -> Falsification {
     let _span = FALSIFY.enter();
     FALSIFICATIONS.incr();

@@ -9,8 +9,8 @@
 //! count, any cache contents, and any eviction history — caching and
 //! coalescing change only how much work runs, never what is returned.
 
-use crate::cache::EvalCache;
 use crate::key::CacheKey;
+use crate::tier::ResultStore;
 use m7_par::ParConfig;
 use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use std::collections::HashMap;
@@ -88,14 +88,15 @@ impl BatchOutcome {
 /// assert_eq!(stats.computed, 2); // 2.0 evaluated once, 3.0 once
 /// assert_eq!(stats.coalesced, 2); // the two duplicate 2.0 requests
 /// ```
-pub fn evaluate_batch_memo<T, V, K, E>(
-    cache: &EvalCache<V>,
+pub fn evaluate_batch_memo<S, T, V, K, E>(
+    cache: &S,
     par: ParConfig,
     items: &[T],
     key_of: K,
     eval: E,
 ) -> (Vec<V>, BatchOutcome)
 where
+    S: ResultStore<V>,
     T: Sync,
     V: Clone + Send + Sync,
     K: Fn(&T) -> CacheKey,
@@ -109,14 +110,15 @@ where
 /// *its* evaluation was avoided (`true` for a cache hit or a request
 /// coalesced onto another slot's evaluation; `false` for the slot that
 /// actually computed).
-pub fn evaluate_batch_memo_flagged<T, V, K, E>(
-    cache: &EvalCache<V>,
+pub fn evaluate_batch_memo_flagged<S, T, V, K, E>(
+    cache: &S,
     par: ParConfig,
     items: &[T],
     key_of: K,
     eval: E,
 ) -> (Vec<(V, bool)>, BatchOutcome)
 where
+    S: ResultStore<V>,
     T: Sync,
     V: Clone + Send + Sync,
     K: Fn(&T) -> CacheKey,
@@ -201,6 +203,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::EvalCache;
     use crate::key::KeyHasher;
 
     fn key_of(x: &u64) -> CacheKey {

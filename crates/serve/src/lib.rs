@@ -15,12 +15,24 @@
 //! - [`batch`] — the request batcher: coalesce duplicate in-flight
 //!   requests, answer hits from the cache, dispatch unique misses in one
 //!   batch over the deterministic [`m7_par`] pool.
+//! - [`segment`] — a crash-safe append-only on-disk segment store:
+//!   CRC-checked records, torn-tail truncation on recovery, and
+//!   dead-ratio-triggered compaction.
+//! - [`tier`] — the tiered cache: the hot in-memory shards backed by the
+//!   segment store, behind the [`tier::ResultStore`] abstraction every
+//!   memoization call site uses.
 //! - [`wire`] — the newline-delimited `key = value` protocol (the same
-//!   line format as `m7_arch::spec` — no JSON dependency).
-//! - [`server`] — a loopback [`std::net::TcpListener`] service with
-//!   per-connection timeouts, a bounded pending queue that sheds load
-//!   with an explicit `busy` response, and clean shutdown on a sentinel
-//!   request.
+//!   line format as `m7_arch::spec` — no JSON dependency), kept as the
+//!   compatibility shim.
+//! - [`frame`] — the versioned length-prefixed binary protocol: an
+//!   incremental decoder that validates before it allocates and never
+//!   panics on adversarial bytes.
+//! - [`server`] — a non-blocking readiness-loop service on a loopback
+//!   [`std::net::TcpListener`]: connection limits and a bounded pending
+//!   queue that shed load with an explicit `busy` response, per-protocol
+//!   connections (binary frames are persistent, legacy text is
+//!   one-request-per-connection), per-connection write backpressure, and
+//!   clean shutdown on a sentinel request.
 //!
 //! # Determinism contract
 //!
@@ -56,11 +68,17 @@
 
 pub mod batch;
 pub mod cache;
+pub mod frame;
 pub mod key;
+pub mod segment;
 pub mod server;
+pub mod tier;
 pub mod wire;
 
 pub use batch::{evaluate_batch_memo, BatchOutcome};
 pub use cache::{CacheStats, EvalCache};
+pub use frame::{FrameDecoder, FrameError};
 pub use key::{CacheKey, EvalRequest, KeyHasher};
-pub use server::{EvalClient, EvalServer, Evaluator, ServeConfig, ServerHandle};
+pub use segment::{DiskCodec, RecoveryReport, SegmentConfig, SegmentStore};
+pub use server::{EvalClient, EvalServer, Evaluator, FramedClient, ServeConfig, ServerHandle};
+pub use tier::{ResultStore, TierConfig, TierStats, TieredCache};

@@ -1,34 +1,52 @@
-//! The loopback evaluation server: a [`std::net::TcpListener`] front end
-//! over the memoizing batcher.
-//!
-//! Architecture (two service threads plus the pool):
+//! The evaluation server: a non-blocking readiness loop over the
+//! memoizing batcher and the tiered cache.
 //!
 //! ```text
-//! clients ──▶ accept thread ──▶ bounded pending queue ──▶ dispatch thread
-//!                │ (full ⇒ `busy`)                          │ drain ≤ max_batch
-//!                ▼                                          ▼
-//!            shed + close                    coalesce ▸ cache ▸ m7-par batch
+//!                    ┌────────────── event thread ──────────────┐
+//! clients ──accept──▶│ conn table (≤ max_connections, else busy)│
+//!                    │   ▼ nonblocking reads                    │
+//!                    │ protocol sniff: 0xA7 ⇒ binary frames,    │
+//!                    │                 else legacy text shim    │
+//!                    │   ▼ parsed requests                      │
+//!                    │ pending queue (≤ max_pending, else busy) │
+//!                    │   ▼ drain ≤ max_batch per turn           │
+//!                    │ coalesce ▸ tiered cache ▸ m7-par batch   │
+//!                    │   ▼ per-conn write buffers, nonblocking  │
+//!                    └──────────────────────────────────────────┘
 //! ```
 //!
-//! The pending queue is **bounded**: when it is full the accept thread
-//! answers `status = busy` immediately and closes the connection instead
-//! of stalling the listener — explicit load shedding, never an unbounded
-//! backlog. Every connection gets read *and* write timeouts so one slow
-//! client cannot wedge a batch. A `op = shutdown` sentinel request stops
-//! both threads cleanly (the dispatcher wakes the blocked `accept` with
-//! a loopback self-connection).
+//! One thread owns every socket; nothing in the request path blocks on
+//! a client. Admission control is two-layer and explicit: a connection
+//! beyond `max_connections` and a request beyond `max_pending` both get
+//! an immediate `busy`, never an unbounded backlog. Backpressure on the
+//! wire is per-connection write buffers flushed as sockets drain; a slow
+//! reader only ever stalls itself.
+//!
+//! Binary connections are persistent — many frames per connection, each
+//! answered in order. Legacy text connections keep the original
+//! one-request-per-connection contract, so every pre-existing client
+//! (including [`EvalClient`]) works unchanged.
+//!
+//! With [`ServeConfig::disk_dir`] set, results live in the tiered cache:
+//! hot in-memory shards over the crash-safe segment store, so a
+//! restarted server answers previously computed work from disk — see
+//! [`crate::tier`] and [`crate::segment`] for the recovery rules.
 
 use crate::batch::evaluate_batch_memo_flagged;
-use crate::cache::{CacheStats, EvalCache};
+use crate::cache::CacheStats;
+use crate::frame::{encode_response, FrameDecoder};
 use crate::key::{namespace, EvalRequest};
+use crate::segment::{RecoveryReport, SegmentConfig};
+use crate::tier::{TierConfig, TierStats, TieredCache};
 use crate::wire::{format_response, parse_request, Request, Response};
 use m7_par::ParConfig;
 use m7_trace::{Counter, MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // Request-lifecycle observability (no-ops until `m7_trace::enable()`).
@@ -42,26 +60,39 @@ static QUEUE_WAIT_NS: TraceHistogram =
 static DISPATCH_BATCH: TraceHistogram =
     TraceHistogram::new("sched.serve.dispatch_batch", MetricClass::Diagnostic);
 
-/// Upper bound on one wire message; larger requests are rejected.
+/// Upper bound on one legacy text message; larger requests are rejected.
 const MAX_MESSAGE_BYTES: usize = 64 * 1024;
 
+/// Nonblocking read chunk size.
+const READ_CHUNK: usize = 4096;
+
+/// How long the event loop parks when a turn made no progress.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
 /// Server configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// TCP port on 127.0.0.1 (0 picks an ephemeral port; read it back
     /// from [`ServerHandle::addr`]).
     pub port: u16,
     /// Pool used to dispatch each batch of unique evaluations.
     pub par: ParConfig,
-    /// Cache capacity (entries).
+    /// Hot-tier cache capacity (entries).
     pub cache_capacity: usize,
-    /// Bound on connections queued for dispatch; beyond it requests are
-    /// shed with `busy`.
+    /// Bound on parsed requests awaiting dispatch; beyond it requests
+    /// are answered `busy` immediately (admission control).
     pub max_pending: usize,
     /// Most requests coalesced into one dispatch.
     pub max_batch: usize,
-    /// Per-connection read and write timeout.
+    /// Simultaneous connections the event loop will hold; beyond it new
+    /// connections are answered `busy` and closed (connection limit).
+    pub max_connections: usize,
+    /// A connection stuck mid-message or mid-response longer than this
+    /// is dropped.
     pub io_timeout: Duration,
+    /// When set, back the hot shards with the crash-safe on-disk
+    /// segment store in this directory: results survive restarts.
+    pub disk_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -72,7 +103,9 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             max_pending: 64,
             max_batch: 32,
+            max_connections: 256,
             io_timeout: Duration::from_secs(2),
+            disk_dir: None,
         }
     }
 }
@@ -103,63 +136,60 @@ impl<F: Fn(&EvalRequest) -> Result<f64, String> + Send + Sync> Evaluator for F {
     }
 }
 
-/// State shared between the accept thread, the dispatch thread, and the
-/// handle.
+/// State shared between the event thread and the handle.
 struct Shared {
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    wake: Condvar,
     stop: AtomicBool,
     /// Deterministic evaluator errors are cached alongside costs: a bad
-    /// request is re-answered from memory, not re-evaluated.
-    cache: EvalCache<Result<f64, String>>,
-    /// Connections answered `busy` because the pending queue was full.
+    /// request is re-answered from memory (or disk), not re-evaluated.
+    cache: TieredCache<Result<f64, String>>,
+    /// Connections or requests answered `busy`.
     shed: Counter,
     config: ServeConfig,
     evaluator: Arc<dyn Evaluator>,
 }
 
-/// A running server: its bound address plus the thread handles needed to
-/// join it.
+/// A running server: its bound address plus the event-thread handle
+/// needed to join it.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    dispatch: Option<std::thread::JoinHandle<()>>,
+    event: Option<std::thread::JoinHandle<()>>,
 }
 
-/// The loopback evaluation server.
+/// The evaluation server.
 pub struct EvalServer;
 
 impl EvalServer {
-    /// Binds 127.0.0.1 and spawns the accept and dispatch threads.
+    /// Binds 127.0.0.1, recovers the disk tier if configured, and
+    /// spawns the event thread.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the port is unavailable.
+    /// The bind error if the port is unavailable, or the disk tier's
+    /// open/recovery error.
     pub fn spawn(config: ServeConfig, evaluator: Arc<dyn Evaluator>) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let tier = match &config.disk_dir {
+            Some(dir) => TierConfig::Disk(SegmentConfig::new(dir)),
+            None => TierConfig::MemoryOnly,
+        };
+        let cache = TieredCache::open(config.cache_capacity.max(1), tier)?;
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
             stop: AtomicBool::new(false),
-            cache: EvalCache::new(config.cache_capacity.max(1)),
+            cache,
             shed: Counter::new(),
             config,
             evaluator,
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("m7-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        let event_shared = Arc::clone(&shared);
+        let event = std::thread::Builder::new()
+            .name("m7-serve-event".into())
+            .spawn(move || event_loop(&listener, &event_shared))?;
 
-        let dispatch_shared = Arc::clone(&shared);
-        let dispatch = std::thread::Builder::new()
-            .name("m7-serve-dispatch".into())
-            .spawn(move || dispatch_loop(&dispatch_shared, addr))?;
-
-        Ok(ServerHandle { addr, shared, accept: Some(accept), dispatch: Some(dispatch) })
+        Ok(ServerHandle { addr, shared, event: Some(event) })
     }
 }
 
@@ -170,55 +200,51 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Exact cache telemetry for the running server.
+    /// Cache telemetry in the legacy shape: hits are hot+disk hits,
+    /// entries is the larger tier. Identical to the old in-memory
+    /// counters when no disk tier is configured.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
+        wire_stats(&self.shared.cache)
+    }
+
+    /// Exact per-tier telemetry.
+    #[must_use]
+    pub fn tier_stats(&self) -> TierStats {
         self.shared.cache.stats()
     }
 
-    /// Exact count of connections shed with `busy` because the pending
-    /// queue was full.
+    /// What disk-tier recovery replayed at startup (`None` without a
+    /// disk tier).
+    #[must_use]
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.shared.cache.recovery()
+    }
+
+    /// Exact count of connections and requests answered `busy`.
     #[must_use]
     pub fn shed_count(&self) -> u64 {
         self.shared.shed.get()
     }
 
-    /// Stops the server and joins both service threads.
-    ///
-    /// Prefers the clean path — a `shutdown` sentinel request through the
-    /// front door — but falls back to flagging + self-connecting if the
-    /// request is shed or fails, so shutdown always terminates.
+    /// Stops the server and joins the event thread. The disk tier (if
+    /// any) is synced by the event loop on the way out.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     /// Blocks until the server stops on its own — a client's `shutdown`
-    /// request — joining both service threads. The foreground-serving
+    /// request — joining the event thread. The foreground-serving
     /// counterpart of [`ServerHandle::shutdown`].
     pub fn wait(mut self) {
-        if let Some(handle) = self.dispatch.take() {
-            let _ = handle.join();
-        }
-        // Dispatch only returns with the stop flag set and the accept
-        // thread woken, so this join cannot hang.
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.event.take() {
             let _ = handle.join();
         }
     }
 
     fn stop_and_join(&mut self) {
-        let client = EvalClient::new(self.addr).with_timeout(Duration::from_secs(2));
-        let clean = matches!(client.shutdown(), Ok(Response::Stopping));
-        if !clean {
-            self.shared.stop.store(true, Ordering::SeqCst);
-            self.shared.wake.notify_all();
-            // Unblock a blocked accept() with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
-        }
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.dispatch.take() {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.event.take() {
             let _ = handle.join();
         }
     }
@@ -226,94 +252,147 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.accept.is_some() || self.dispatch.is_some() {
+        if self.event.is_some() {
             self.stop_and_join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.stop.load(Ordering::SeqCst) {
-                return;
-            }
-            continue;
-        };
-        if shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
-        let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
-        let mut queue = shared.queue.lock().expect("queue poisoned");
-        if queue.len() >= shared.config.max_pending {
-            // Shed load explicitly instead of stalling the listener.
-            drop(queue);
-            shared.shed.incr();
-            BUSY_SHED.incr();
-            let mut stream = stream;
-            let _ = stream.write_all(format_response(&Response::Busy).as_bytes());
-            continue;
-        }
-        queue.push_back((stream, Instant::now()));
-        drop(queue);
-        shared.wake.notify_one();
+/// Legacy-shaped stats over the tiered cache: byte-compatible with the
+/// pre-tier wire protocol.
+fn wire_stats(cache: &TieredCache<Result<f64, String>>) -> CacheStats {
+    let tier = cache.stats();
+    let hot = cache.hot().stats();
+    CacheStats {
+        hits: tier.hits(),
+        misses: tier.misses,
+        evictions: hot.evictions,
+        insertions: tier.insertions,
+        entries: tier.hot_entries.max(tier.disk_entries),
     }
 }
 
-fn dispatch_loop(shared: &Shared, addr: SocketAddr) {
+/// Which protocol a connection speaks, sniffed from its first byte.
+enum Proto {
+    /// No bytes yet.
+    Unknown,
+    /// Newline `key = value` text, one request per connection.
+    Legacy,
+    /// Length-prefixed binary frames, persistent.
+    Binary(Box<FrameDecoder>),
+}
+
+struct Conn {
+    stream: TcpStream,
+    proto: Proto,
+    /// Unparsed legacy input (binary input lives in the decoder).
+    in_buf: Vec<u8>,
+    /// Bytes owed to the client, flushed as the socket drains.
+    out: VecDeque<u8>,
+    /// When the current partial message or unflushed output started
+    /// waiting — the stuck-connection clock.
+    stuck_since: Option<Instant>,
+    /// Close once `out` drains (legacy turn done, or fatal error).
+    close_after_flush: bool,
+    /// Peer closed its write side.
+    saw_eof: bool,
+    /// Requests parsed but not yet answered (keeps the conn alive).
+    in_flight: usize,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            proto: Proto::Unknown,
+            in_buf: Vec::new(),
+            out: VecDeque::new(),
+            stuck_since: None,
+            close_after_flush: false,
+            saw_eof: false,
+            in_flight: 0,
+        }
+    }
+
+    fn queue_response(&mut self, response: &Response) {
+        let bytes = match self.proto {
+            Proto::Binary(_) => encode_response(response),
+            _ => format_response(response).into_bytes(),
+        };
+        self.out.extend(bytes);
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+/// One parsed request waiting for dispatch, tagged with its connection.
+struct PendingReq {
+    conn_id: u64,
+    request: EvalRequest,
+    enqueued: Instant,
+}
+
+fn event_loop(listener: &TcpListener, shared: &Shared) {
     let ns = namespace(shared.evaluator.namespace_tag(), 0);
+    let mut conns: Vec<(u64, Conn)> = Vec::new();
+    let mut next_id: u64 = 0;
+    let mut pending: VecDeque<PendingReq> = VecDeque::new();
+
     loop {
-        // Wait for work or a stop flag.
-        let mut batch: Vec<TcpStream> = Vec::new();
-        {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
-            while queue.is_empty() && !shared.stop.load(Ordering::SeqCst) {
-                queue = shared.wake.wait(queue).expect("queue poisoned");
-            }
-            while batch.len() < shared.config.max_batch {
-                match queue.pop_front() {
-                    Some((stream, enqueued)) => {
-                        QUEUE_WAIT_NS.record(
-                            u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                        );
-                        batch.push(stream);
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        let mut progress = false;
+
+        // Accept phase: drain the listener; over the connection limit,
+        // shed explicitly with `busy` instead of queueing.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if stopping {
+                        continue; // dropped: no new work while draining
                     }
-                    None => break,
+                    if conns.len() >= shared.config.max_connections {
+                        shed_busy(stream, shared);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    conns.push((next_id, Conn::new(stream)));
+                    next_id += 1;
                 }
-            }
-        }
-        if batch.is_empty() && shared.stop.load(Ordering::SeqCst) {
-            return;
-        }
-        let _span = DISPATCH_SPAN.enter();
-        REQUESTS.add(batch.len() as u64);
-        DISPATCH_BATCH.record(batch.len() as u64);
-
-        // Read and parse every connection in the batch.
-        let mut evals: Vec<(TcpStream, EvalRequest)> = Vec::new();
-        let mut saw_shutdown = false;
-        for mut stream in batch {
-            match read_message(&mut stream) {
-                Ok(text) => match parse_request(&text) {
-                    Ok(Request::Eval(req)) => evals.push((stream, req)),
-                    Ok(Request::Stats) => {
-                        respond(&mut stream, &Response::Stats(shared.cache.stats()));
-                    }
-                    Ok(Request::Shutdown) => {
-                        respond(&mut stream, &Response::Stopping);
-                        saw_shutdown = true;
-                    }
-                    Err(err) => respond(&mut stream, &Response::Error(err.to_string())),
-                },
-                Err(err) => respond(&mut stream, &Response::Error(format!("read failed: {err}"))),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
         }
 
-        // Coalesce duplicates, consult the cache, dispatch unique work as
-        // one batch on the pool.
-        if !evals.is_empty() {
-            let requests: Vec<EvalRequest> = evals.iter().map(|(_, r)| r.clone()).collect();
+        // Read phase: pull bytes, sniff the protocol, parse complete
+        // messages into the pending queue (or answer control requests
+        // inline).
+        for (id, conn) in &mut conns {
+            if conn.close_after_flush {
+                continue;
+            }
+            let read = pump_read(conn);
+            if read > 0 {
+                progress = true;
+            }
+            parse_conn(*id, conn, shared, &mut pending);
+        }
+
+        // Dispatch phase: drain one batch through the tiered cache and
+        // the pool, then scatter responses to their connections.
+        if !pending.is_empty() {
+            progress = true;
+            let _span = DISPATCH_SPAN.enter();
+            let take = pending.len().min(shared.config.max_batch.max(1));
+            let batch: Vec<PendingReq> = pending.drain(..take).collect();
+            REQUESTS.add(batch.len() as u64);
+            DISPATCH_BATCH.record(batch.len() as u64);
+            for req in &batch {
+                QUEUE_WAIT_NS
+                    .record(u64::try_from(req.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            let requests: Vec<EvalRequest> = batch.iter().map(|p| p.request.clone()).collect();
             let evaluator = &shared.evaluator;
             let (results, _outcome) = evaluate_batch_memo_flagged(
                 &shared.cache,
@@ -322,26 +401,302 @@ fn dispatch_loop(shared: &Shared, addr: SocketAddr) {
                 |r| r.cache_key(ns),
                 |r| evaluator.evaluate(r).map_err(|e| e.to_string()),
             );
-            for ((mut stream, _), (result, saved)) in evals.into_iter().zip(results) {
+            for (req, (result, saved)) in batch.iter().zip(results) {
                 let response = match result {
                     Ok(cost) => Response::Cost { cost, cached: saved },
                     Err(msg) => Response::Error(msg),
                 };
-                respond(&mut stream, &response);
+                if let Some((_, conn)) = conns.iter_mut().find(|(id, _)| *id == req.conn_id) {
+                    conn.queue_response(&response);
+                }
+                // A vanished connection just discards its response —
+                // the result is cached either way.
             }
         }
 
-        if saw_shutdown {
-            shared.stop.store(true, Ordering::SeqCst);
-            // Wake the accept thread out of its blocking accept().
-            let _ = TcpStream::connect(addr);
+        // Write phase: flush what each socket will take.
+        for (_, conn) in &mut conns {
+            if pump_write(conn) {
+                progress = true;
+            }
+        }
+
+        // Reap phase: closed, finished, or stuck-past-timeout conns.
+        let timeout = shared.config.io_timeout;
+        conns.retain_mut(|(_, conn)| retain_conn(conn, timeout));
+
+        if shared.stop.load(Ordering::SeqCst) {
+            let drained = pending.is_empty()
+                && conns.iter().all(|(_, c)| c.out.is_empty() && c.in_flight == 0);
+            if drained || stopping {
+                // Two passes with the flag up: one drain turn, then out.
+                if stopping && drained {
+                    let _ = shared.cache.sync();
+                    return;
+                }
+                if stopping {
+                    // Still undrained after a full turn — flush what
+                    // remains next turn; bounded by io_timeout reaping.
+                }
+            }
+        }
+
+        if !progress {
+            std::thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+/// Answers `busy` on a just-accepted, about-to-be-dropped connection.
+fn shed_busy(mut stream: TcpStream, shared: &Shared) {
+    shared.shed.incr();
+    BUSY_SHED.incr();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    // A fresh connection has not spoken yet, so the protocol is
+    // unknown; the legacy rendering is self-describing either way.
+    let _ = stream.write_all(format_response(&Response::Busy).as_bytes());
+}
+
+/// Nonblocking read into the connection's buffers. Returns bytes read.
+fn pump_read(conn: &mut Conn) -> usize {
+    if conn.saw_eof {
+        return 0;
+    }
+    let mut total = 0;
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                total += n;
+                match &mut conn.proto {
+                    Proto::Unknown => {
+                        conn.proto = if chunk[0] == crate::frame::MAGIC {
+                            let mut decoder = Box::new(FrameDecoder::new());
+                            decoder.feed(&chunk[..n]);
+                            Proto::Binary(decoder)
+                        } else {
+                            conn.in_buf.extend_from_slice(&chunk[..n]);
+                            Proto::Legacy
+                        };
+                    }
+                    Proto::Binary(decoder) => decoder.feed(&chunk[..n]),
+                    Proto::Legacy => conn.in_buf.extend_from_slice(&chunk[..n]),
+                }
+                if conn.in_buf.len() > MAX_MESSAGE_BYTES {
+                    conn.queue_response(&Response::Error("message too large".into()));
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.saw_eof = true;
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// Parses whatever complete messages the connection holds, answering
+/// control requests inline and queueing evals (with admission control).
+fn parse_conn(id: u64, conn: &mut Conn, shared: &Shared, pending: &mut VecDeque<PendingReq>) {
+    loop {
+        let request = match &mut conn.proto {
+            Proto::Unknown => {
+                if conn.saw_eof {
+                    conn.close_after_flush = true;
+                }
+                return;
+            }
+            Proto::Binary(decoder) => match decoder.next_request() {
+                Ok(Some(req)) => Some(req),
+                Ok(None) => {
+                    if conn.saw_eof {
+                        if decoder.pending_bytes() > 0 {
+                            conn.queue_response(&Response::Error(
+                                "connection closed mid-frame".into(),
+                            ));
+                        }
+                        conn.close_after_flush = true;
+                    }
+                    None
+                }
+                Err(err) => {
+                    conn.queue_response(&Response::Error(err.to_string()));
+                    conn.close_after_flush = true;
+                    None
+                }
+            },
+            Proto::Legacy => {
+                // A legacy message ends at the first blank line, or at
+                // EOF (clients that close their write side).
+                let end = conn.in_buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2);
+                match end {
+                    Some(end) => {
+                        let msg: Vec<u8> = conn.in_buf.drain(..end).collect();
+                        Some(parse_legacy(conn, &msg))
+                    }
+                    None if conn.saw_eof && !conn.in_buf.is_empty() => {
+                        let msg = std::mem::take(&mut conn.in_buf);
+                        Some(parse_legacy(conn, &msg))
+                    }
+                    None => {
+                        if conn.saw_eof {
+                            conn.close_after_flush = true;
+                        }
+                        None
+                    }
+                }
+                .flatten()
+            }
+        };
+        let Some(request) = request else { return };
+        conn.in_flight += 1;
+        match request {
+            Request::Eval(eval) => {
+                if pending.len() >= shared.config.max_pending {
+                    // Admission control: immediate busy, no backlog.
+                    shared.shed.incr();
+                    BUSY_SHED.incr();
+                    conn.queue_response(&Response::Busy);
+                    end_legacy_turn(conn);
+                } else {
+                    pending.push_back(PendingReq {
+                        conn_id: id,
+                        request: eval,
+                        enqueued: Instant::now(),
+                    });
+                }
+            }
+            Request::Stats => {
+                conn.queue_response(&Response::Stats(wire_stats(&shared.cache)));
+                end_legacy_turn(conn);
+            }
+            Request::Shutdown => {
+                conn.queue_response(&Response::Stopping);
+                conn.close_after_flush = true;
+                shared.stop.store(true, Ordering::SeqCst);
+            }
+        }
+        if conn.close_after_flush {
             return;
         }
     }
 }
 
-/// Reads one blank-line-terminated message (or to EOF), bounded by
-/// [`MAX_MESSAGE_BYTES`] and the connection's read timeout.
+/// Legacy text parse: an unparsable message answers an error and ends
+/// the connection's turn.
+fn parse_legacy(conn: &mut Conn, msg: &[u8]) -> Option<Request> {
+    let text = match std::str::from_utf8(msg) {
+        Ok(text) => text,
+        Err(_) => {
+            conn.queue_response(&Response::Error("message is not UTF-8".into()));
+            conn.close_after_flush = true;
+            return None;
+        }
+    };
+    match parse_request(text) {
+        Ok(req) => Some(req),
+        Err(err) => {
+            conn.queue_response(&Response::Error(err.to_string()));
+            conn.close_after_flush = true;
+            None
+        }
+    }
+}
+
+/// Legacy connections serve one request then close (the original
+/// contract); binary connections persist.
+fn end_legacy_turn(conn: &mut Conn) {
+    if matches!(conn.proto, Proto::Legacy) {
+        conn.close_after_flush = true;
+    }
+}
+
+/// Marks a legacy connection done once its answer is queued (the
+/// response to its single request is written by the dispatch phase).
+fn legacy_answered(conn: &Conn) -> bool {
+    matches!(conn.proto, Proto::Legacy) && conn.in_flight == 0 && !conn.out.is_empty()
+}
+
+/// Nonblocking flush of the connection's write buffer. Returns whether
+/// any bytes moved.
+fn pump_write(conn: &mut Conn) -> bool {
+    if conn.out.is_empty() {
+        return false;
+    }
+    if legacy_answered(conn) {
+        conn.close_after_flush = true;
+    }
+    let mut moved = false;
+    while !conn.out.is_empty() {
+        let (head, _) = conn.out.as_slices();
+        match conn.stream.write(head) {
+            Ok(0) => break,
+            Ok(n) => {
+                conn.out.drain(..n);
+                moved = true;
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.out.clear();
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+    }
+    if moved {
+        let _ = conn.stream.flush();
+    }
+    moved
+}
+
+/// Whether to keep a connection for the next turn; updates its stuck
+/// clock.
+fn retain_conn(conn: &mut Conn, timeout: Duration) -> bool {
+    let done_writing = conn.out.is_empty();
+    if conn.close_after_flush && done_writing {
+        return false;
+    }
+    if conn.saw_eof && done_writing && conn.in_flight == 0 {
+        // Peer finished and nothing is owed.
+        let partial = match &conn.proto {
+            Proto::Binary(d) => d.pending_bytes() > 0,
+            _ => !conn.in_buf.is_empty(),
+        };
+        if !partial {
+            return false;
+        }
+    }
+    // The stuck clock runs while a partial message waits for bytes or a
+    // response waits for the socket; it resets when the conn goes idle.
+    let waiting = !conn.out.is_empty()
+        || !conn.in_buf.is_empty()
+        || conn.in_flight > 0
+        || matches!(&conn.proto, Proto::Binary(d) if d.pending_bytes() > 0);
+    match (waiting, conn.stuck_since) {
+        (false, _) => conn.stuck_since = None,
+        (true, None) => conn.stuck_since = Some(Instant::now()),
+        (true, Some(since)) => {
+            if since.elapsed() > timeout {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Reads one blank-line-terminated legacy message (or to EOF), bounded
+/// by [`MAX_MESSAGE_BYTES`] and the connection's read timeout. Used by
+/// the blocking legacy client.
 fn read_message(stream: &mut TcpStream) -> io::Result<String> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
@@ -362,12 +717,7 @@ fn read_message(stream: &mut TcpStream) -> io::Result<String> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message is not UTF-8"))
 }
 
-fn respond(stream: &mut TcpStream, response: &Response) {
-    let _ = stream.write_all(format_response(response).as_bytes());
-    let _ = stream.flush();
-}
-
-/// A one-request-per-connection client for the loopback protocol.
+/// A one-request-per-connection client for the legacy text protocol.
 ///
 /// # Examples
 ///
@@ -441,6 +791,107 @@ impl EvalClient {
     }
 }
 
+/// A persistent binary-protocol connection: many framed requests per
+/// TCP connection, each answered in order — the high-throughput path.
+///
+/// # Examples
+///
+/// ```no_run
+/// use m7_serve::key::EvalRequest;
+/// use m7_serve::server::FramedClient;
+///
+/// let mut client = FramedClient::connect("127.0.0.1:7207".parse().unwrap())?;
+/// for i in 0..100 {
+///     let resp = client.eval(&EvalRequest::new("mission", vec![f64::from(i)], 42))?;
+/// }
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct FramedClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl FramedClient {
+    /// Connects with a 5 s default timeout.
+    ///
+    /// # Errors
+    ///
+    /// The connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit connect/read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// The connect error.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, decoder: FrameDecoder::new() })
+    }
+
+    /// Sends one request frame and blocks for its response frame.
+    ///
+    /// # Errors
+    ///
+    /// The socket error, or `InvalidData` when the response stream does
+    /// not decode.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.stream.write_all(&crate::frame::encode_request(request))?;
+        self.stream.flush()?;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if let Some(resp) = self
+                .decoder
+                .next_response()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            self.decoder.feed(&chunk[..n]);
+        }
+    }
+
+    /// Sends an evaluation request.
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedClient::request`].
+    pub fn eval(&mut self, request: &EvalRequest) -> io::Result<Response> {
+        self.request(&Request::Eval(request.clone()))
+    }
+
+    /// Requests the server's cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedClient::request`].
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Sends the shutdown sentinel.
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedClient::request`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +925,41 @@ mod tests {
     }
 
     #[test]
+    fn framed_client_is_persistent_and_in_order() {
+        let server = spawn_default();
+        let mut client = FramedClient::connect(server.addr()).unwrap();
+        for i in 0..20u32 {
+            let req = EvalRequest::new("mission", vec![f64::from(i % 5)], 0);
+            let want = quadratic(&req).unwrap();
+            match client.eval(&req).unwrap() {
+                Response::Cost { cost, .. } => assert_eq!(cost.to_bits(), want.to_bits()),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        // 20 requests over one connection: 5 unique, 15 cached.
+        assert_eq!(server.cache_stats().hits, 15);
+        let Response::Stats(stats) = client.stats().unwrap() else { panic!("want stats") };
+        assert_eq!(stats.entries, 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn legacy_and_binary_clients_share_one_cache() {
+        let server = spawn_default();
+        let req = EvalRequest::new("mission", vec![5.0], 1);
+        let legacy = EvalClient::new(server.addr());
+        let Response::Cost { cost: a, cached: first_cached } = legacy.eval(&req).unwrap() else {
+            panic!()
+        };
+        assert!(!first_cached);
+        let mut binary = FramedClient::connect(server.addr()).unwrap();
+        let Response::Cost { cost: b, cached } = binary.eval(&req).unwrap() else { panic!() };
+        assert!(cached, "binary client must hit the legacy client's entry");
+        assert_eq!(a.to_bits(), b.to_bits());
+        server.shutdown();
+    }
+
+    #[test]
     fn stats_and_clean_shutdown() {
         let server = spawn_default();
         let client = EvalClient::new(server.addr());
@@ -481,9 +967,7 @@ mod tests {
         let Response::Stats(stats) = client.stats().unwrap() else { panic!("want stats") };
         assert_eq!(stats.entries, 1);
         assert_eq!(client.shutdown().unwrap(), Response::Stopping);
-        // Threads are joined by the handle; a fresh connection now fails
-        // or is never served.
-        server.shutdown();
+        server.wait();
     }
 
     #[test]
@@ -495,6 +979,7 @@ mod tests {
         assert_eq!(resp, Response::Error("values must be nonempty".to_string()));
         // Malformed on the wire.
         let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         stream.write_all(b"op = warp\n\n").unwrap();
         let text = read_message(&mut stream).unwrap();
         let parsed = crate::wire::parse_response(&text).unwrap();
@@ -503,9 +988,32 @@ mod tests {
     }
 
     #[test]
+    fn garbage_binary_frames_get_an_error_not_a_hang() {
+        let server = spawn_default();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Valid magic, hostile length.
+        let mut bytes = vec![crate::frame::MAGIC, crate::frame::VERSION, 0x01, 0];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.write_all(&bytes).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut chunk = [0u8; 256];
+        let resp = loop {
+            if let Some(resp) = decoder.next_response().unwrap() {
+                break resp;
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed without answering");
+            decoder.feed(&chunk[..n]);
+        };
+        assert!(matches!(resp, Response::Error(ref msg) if msg.contains("exceeds")), "{resp:?}");
+        server.shutdown();
+    }
+
+    #[test]
     fn full_queue_sheds_with_busy() {
-        // max_pending = 0: every connection is shed immediately, which
-        // exercises the shedding path deterministically.
+        // max_pending = 0: every eval request is answered busy, which
+        // exercises the admission-control path deterministically.
         let server = EvalServer::spawn(
             ServeConfig { max_pending: 0, par: ParConfig::serial(), ..ServeConfig::default() },
             Arc::new(quadratic),
@@ -514,6 +1022,54 @@ mod tests {
         let client = EvalClient::new(server.addr());
         let resp = client.eval(&EvalRequest::new("mission", vec![1.0], 0)).unwrap();
         assert_eq!(resp, Response::Busy);
+        assert!(server.shed_count() >= 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_sheds_with_busy() {
+        let server = EvalServer::spawn(
+            ServeConfig { max_connections: 0, par: ParConfig::serial(), ..ServeConfig::default() },
+            Arc::new(quadratic),
+        )
+        .unwrap();
+        let client = EvalClient::new(server.addr());
+        let resp = client.eval(&EvalRequest::new("mission", vec![1.0], 0)).unwrap();
+        assert_eq!(resp, Response::Busy);
+        server.shutdown();
+    }
+
+    #[test]
+    fn disk_backed_server_warm_starts_across_restarts() {
+        let dir = std::env::temp_dir().join(format!(
+            "m7serve-warm-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            par: ParConfig::serial(),
+            disk_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let req = EvalRequest::new("mission", vec![6.0, 8.0], 3);
+
+        let server = EvalServer::spawn(config.clone(), Arc::new(quadratic)).unwrap();
+        let client = EvalClient::new(server.addr());
+        let Response::Cost { cost, cached } = client.eval(&req).unwrap() else { panic!() };
+        assert!(!cached, "cold start computes");
+        server.shutdown();
+
+        // A brand-new process-equivalent: fresh server, same directory.
+        let server = EvalServer::spawn(config, Arc::new(quadratic)).unwrap();
+        let recovered = server.recovery().expect("disk tier");
+        assert_eq!(recovered.live_entries, 1);
+        let client = EvalClient::new(server.addr());
+        let Response::Cost { cost: warm, cached } = client.eval(&req).unwrap() else { panic!() };
+        assert!(cached, "warm start answers from the recovered disk tier");
+        assert_eq!(warm.to_bits(), cost.to_bits());
+        assert_eq!(server.tier_stats().disk_hits, 1);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -208,14 +208,28 @@ pub fn run_cached(seed: u64) -> (ScenariosResult, u64) {
     run_inner(seed, &falsify_cache())
 }
 
+/// [`run_cached`] over a caller-supplied store — the tiered-cache entry
+/// point: with a disk-backed [`m7_serve::tier::TieredCache`], the
+/// falsification scores persist across process restarts and a warm
+/// re-run answers them all from the store. The [`ScenariosResult`] stays
+/// bit-identical regardless of the store's contents.
+#[must_use]
+pub fn run_cached_with<S: m7_serve::tier::ResultStore<f64>>(
+    seed: u64,
+    cache: &S,
+) -> (ScenariosResult, u64) {
+    run_inner(seed, cache)
+}
+
 /// A cache big enough for both tiers' namespaces: savings are exact,
 /// never eviction-dependent.
 fn falsify_cache() -> EvalCache<f64> {
     EvalCache::new(2 * FalsifyConfig::default().space().cardinality())
 }
 
-fn run_inner(seed: u64, cache: &EvalCache<f64>) -> (ScenariosResult, u64) {
+fn run_inner<S: m7_serve::tier::ResultStore<f64>>(seed: u64, cache: &S) -> (ScenariosResult, u64) {
     let par = ParConfig::default();
+    let hits_before = cache.hits();
 
     // Per-generator UAV sweep: the scenario seed depends only on the
     // (family, level, variant) cell, so both tiers fly identical worlds.
@@ -288,7 +302,7 @@ fn run_inner(seed: u64, cache: &EvalCache<f64>) -> (ScenariosResult, u64) {
         })
         .collect();
 
-    (ScenariosResult { families, rover, falsifications }, cache.stats().hits)
+    (ScenariosResult { families, rover, falsifications }, cache.hits() - hits_before)
 }
 
 #[cfg(test)]

@@ -137,14 +137,28 @@ pub fn run(seed: u64) -> DseResult {
 /// itself stays byte-stable whether or not memoization is on.
 #[must_use]
 pub fn run_cached(seed: u64) -> (DseResult, u64) {
+    // Big enough to hold the whole space: savings are then exact, not
+    // eviction-dependent.
+    let cache = EvalCache::new(uav_design_space().cardinality().max(64));
+    run_cached_with(seed, &cache)
+}
+
+/// [`run_cached`] over a caller-supplied store — the tiered-cache entry
+/// point. With a [`m7_serve::tier::TieredCache`] the exhaustive pass's
+/// scores persist on disk, so a re-run (even in a new process) answers
+/// every evaluation from the store and the savings figure grows
+/// accordingly; the [`DseResult`] itself stays bit-identical regardless.
+#[must_use]
+pub fn run_cached_with<S: m7_serve::tier::ResultStore<f64>>(
+    seed: u64,
+    cache: &S,
+) -> (DseResult, u64) {
     let space = uav_design_space();
     let objective = move |values: &[f64]| mission_cost(values, seed);
     let budget = SearchBudget::new(40);
     let par = ParConfig::default();
-    // Big enough to hold the whole space: savings are then exact, not
-    // eviction-dependent.
-    let cache = EvalCache::new(space.cardinality().max(64));
-    let memo = EvalMemo::new(&cache, namespace("e9-mission", seed));
+    let hits_before = cache.hits();
+    let memo = EvalMemo::new(cache, namespace("e9-mission", seed));
 
     let exhaustive = Explorer::Exhaustive.run_memoized(
         &space,
@@ -167,7 +181,7 @@ pub fn run_cached(seed: u64) -> (DseResult, u64) {
             (strategy.name().to_string(), result.best_cost, within)
         })
         .collect();
-    let saved = cache.stats().hits;
+    let saved = cache.hits() - hits_before;
     (DseResult { optimum, optimum_values: exhaustive.best_values, rows }, saved)
 }
 

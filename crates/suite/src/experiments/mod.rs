@@ -206,6 +206,37 @@ impl ExperimentId {
             other => (other.run_with(seed, timing), 0),
         }
     }
+
+    /// [`ExperimentId::run_with_cached`] with the memoized experiments
+    /// routed through one caller-supplied [`ResultStore`] — the entry
+    /// point for the disk-backed
+    /// [`TieredCache`](m7_serve::tier::TieredCache), which makes
+    /// objective evaluations survive process restarts. Reports stay
+    /// byte-identical to the uncached runner for any store contents;
+    /// only the savings figure moves.
+    #[must_use]
+    pub fn run_with_cached_in<S: m7_serve::tier::ResultStore<f64>>(
+        self,
+        seed: u64,
+        timing: Timing,
+        store: &S,
+    ) -> (Report, u64) {
+        match self {
+            Self::E9Dse => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
+                let (result, saved) = e9_dse::run_cached_with(seed, store);
+                (result.report(), saved)
+            }
+            Self::E12Scenarios => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
+                let (result, saved) = e12_scenarios::run_cached_with(seed, store);
+                (result.report(), saved)
+            }
+            other => (other.run_with(seed, timing), 0),
+        }
+    }
 }
 
 /// Resolves a slug-prefix filter to experiments in paper order.
@@ -308,6 +339,36 @@ pub fn run_selected_serial_cached(
         .iter()
         .map(|&id| {
             let (report, saved) = id.run_with_cached(experiment_seed(root_seed, id), timing);
+            (id, report, saved)
+        })
+        .collect())
+}
+
+/// [`run_selected_serial_cached`] with every memoized experiment
+/// sharing one caller-supplied store. With an in-memory store this is a
+/// cross-experiment cache; with a disk-backed
+/// [`TieredCache`](m7_serve::tier::TieredCache) it is a cross-*process*
+/// cache — a re-run in a fresh process answers previously computed
+/// objectives from disk and reports the larger savings, while every
+/// report stays byte-identical.
+///
+/// # Errors
+///
+/// Returns the same empty-selection error as [`run_selected_serial`].
+pub fn run_selected_serial_cached_in<S: m7_serve::tier::ResultStore<f64>>(
+    ids: &[ExperimentId],
+    root_seed: u64,
+    timing: Timing,
+    store: &S,
+) -> Result<Vec<(ExperimentId, Report, u64)>, String> {
+    if ids.is_empty() {
+        return Err(unknown_selection_error(""));
+    }
+    Ok(ids
+        .iter()
+        .map(|&id| {
+            let (report, saved) =
+                id.run_with_cached_in(experiment_seed(root_seed, id), timing, store);
             (id, report, saved)
         })
         .collect())

@@ -18,8 +18,22 @@
 //!
 //! Flags: `--port P`, `--threads N` (evaluation pool size), `--requests
 //! N` (client design points, default 12), `--seed S` (mission seed,
-//! default 42), `--trace FILE` (write a chrome://tracing JSON trace on
-//! exit), `--metrics` (dump `key=value` metrics to stderr on exit).
+//! default 42), `--cache-dir DIR` (back the cache with the crash-safe
+//! on-disk segment store in DIR — results survive restarts, and a
+//! restarted server reports how many entries it recovered), `--trace
+//! FILE` (write a chrome://tracing JSON trace on exit), `--metrics`
+//! (dump `key=value` metrics to stderr on exit).
+//!
+//! Kill-and-restart smoke, by hand:
+//!
+//! ```text
+//! cargo run --release --example eval_service -- --self-test --cache-dir /tmp/m7cache
+//! cargo run --release --example eval_service -- --self-test --cache-dir /tmp/m7cache
+//! ```
+//!
+//! The second run recovers the first run's entries from disk and fails
+//! unless every request is answered from the warm cache without
+//! recomputing.
 //!
 //! Protocol: newline-delimited `key = value` pairs, blank-line
 //! terminated — try it by hand with `nc 127.0.0.1 <port>`:
@@ -31,6 +45,7 @@
 //! values = 2 40 0.25 12
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -93,8 +108,22 @@ fn client_requests(n: usize, seed: u64) -> Vec<EvalRequest> {
         .collect()
 }
 
-fn serve(port: u16, par: ParConfig) -> ExitCode {
-    let config = ServeConfig { port, par, ..ServeConfig::default() };
+/// Prints what a disk-backed server found on startup — the observable
+/// proof that a restart reuses earlier work.
+fn report_recovery(handle: &magseven::serve::server::ServerHandle, cache_dir: &Option<PathBuf>) {
+    if let (Some(dir), Some(rec)) = (cache_dir, handle.recovery()) {
+        println!(
+            "disk cache {}: recovered {} entries ({} records, {} torn bytes truncated)",
+            dir.display(),
+            rec.live_entries,
+            rec.records,
+            rec.torn_bytes
+        );
+    }
+}
+
+fn serve(port: u16, par: ParConfig, cache_dir: Option<PathBuf>) -> ExitCode {
+    let config = ServeConfig { port, par, disk_dir: cache_dir.clone(), ..ServeConfig::default() };
     let handle = match EvalServer::spawn(config, Arc::new(MissionEvaluator)) {
         Ok(handle) => handle,
         Err(err) => {
@@ -102,6 +131,7 @@ fn serve(port: u16, par: ParConfig) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    report_recovery(&handle, &cache_dir);
     println!("serving uav-mission on {}", handle.addr());
     println!("stop with: op = shutdown");
     handle.wait();
@@ -140,8 +170,15 @@ fn run_client(port: u16, requests: usize, seed: u64) -> ExitCode {
 
 /// Spawns server + client in one process and verifies the served costs
 /// bit-match direct evaluation, with duplicates answered from cache.
-fn self_test(requests: usize, seed: u64, par: ParConfig) -> ExitCode {
-    let config = ServeConfig { port: 0, par, ..ServeConfig::default() };
+///
+/// With `--cache-dir`, a second invocation over the same directory is a
+/// *warm* start: the server recovers the previous run's entries from
+/// disk, and this self-test then **requires** every response to be
+/// cached and at least one answer to come from the disk tier — the
+/// kill-and-restart proof, runnable as two plain processes.
+fn self_test(requests: usize, seed: u64, par: ParConfig, cache_dir: Option<PathBuf>) -> ExitCode {
+    let config =
+        ServeConfig { port: 0, par, disk_dir: cache_dir.clone(), ..ServeConfig::default() };
     let handle = match EvalServer::spawn(config, Arc::new(MissionEvaluator)) {
         Ok(handle) => handle,
         Err(err) => {
@@ -149,6 +186,8 @@ fn self_test(requests: usize, seed: u64, par: ParConfig) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    report_recovery(&handle, &cache_dir);
+    let warm_start = handle.recovery().is_some_and(|rec| rec.live_entries > 0);
     println!("self-test server on {}", handle.addr());
     let client = EvalClient::new(handle.addr());
     let evaluator = MissionEvaluator;
@@ -175,8 +214,15 @@ fn self_test(requests: usize, seed: u64, par: ParConfig) -> ExitCode {
     }
 
     let stats = handle.cache_stats();
+    let tier = handle.tier_stats();
     println!("served {requests} requests, {cached_responses} answered from cache");
     println!("server cache: {stats}");
+    if cache_dir.is_some() {
+        println!(
+            "tiers: {} hot hits / {} disk hits / {} misses / {} insertions",
+            tier.hot_hits, tier.disk_hits, tier.misses, tier.insertions
+        );
+    }
     handle.shutdown();
 
     if failures > 0 {
@@ -187,6 +233,23 @@ fn self_test(requests: usize, seed: u64, par: ParConfig) -> ExitCode {
         eprintln!("self-test FAILED: duplicate requests never hit the cache");
         return ExitCode::FAILURE;
     }
+    if warm_start {
+        // A restart over a populated cache directory must reuse it: the
+        // same deterministic request schedule was computed last time, so
+        // nothing may be recomputed and the disk tier must answer.
+        if cached_responses != requests {
+            eprintln!(
+                "self-test FAILED: warm start recomputed {} of {requests} requests",
+                requests - cached_responses
+            );
+            return ExitCode::FAILURE;
+        }
+        if tier.disk_hits == 0 {
+            eprintln!("self-test FAILED: warm start never touched the disk tier");
+            return ExitCode::FAILURE;
+        }
+        println!("warm start verified: all {requests} responses served from the recovered cache");
+    }
     println!("self-test passed: all served costs bit-match direct evaluation");
     ExitCode::SUCCESS
 }
@@ -196,6 +259,7 @@ fn main() -> ExitCode {
     let mut port = 0u16;
     let mut requests = 12usize;
     let mut seed = 42u64;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut obs = ObsFlags::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -222,12 +286,19 @@ fn main() -> ExitCode {
                 };
                 seed = v;
             }
+            "--cache-dir" => {
+                let Some(v) = args.next().filter(|v| !v.is_empty()) else {
+                    eprintln!("--cache-dir needs a directory path");
+                    return ExitCode::from(2);
+                };
+                cache_dir = Some(PathBuf::from(v));
+            }
             s if obs.consume(s, &mut args) => {}
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: eval_service \
                      [--serve|--client|--self-test] [--port P] [--threads N] [--requests N] \
-                     [--seed S] [--trace FILE] [--metrics]"
+                     [--seed S] [--cache-dir DIR] [--trace FILE] [--metrics]"
                 );
                 return ExitCode::from(2);
             }
@@ -237,7 +308,7 @@ fn main() -> ExitCode {
     let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     let code = match mode.as_str() {
-        "--serve" => serve(port, par),
+        "--serve" => serve(port, par, cache_dir),
         "--client" => {
             if port == 0 {
                 eprintln!("--client needs --port (the address printed by --serve)");
@@ -245,7 +316,7 @@ fn main() -> ExitCode {
             }
             run_client(port, requests, seed)
         }
-        _ => self_test(requests, seed, par),
+        _ => self_test(requests, seed, par, cache_dir),
     };
 
     if !obs.finish() {
