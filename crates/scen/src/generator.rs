@@ -34,6 +34,7 @@ fn family_salt(family: Family) -> u64 {
         Family::Forest => 0x5CE0_0003_C0FF_EE03,
         Family::UrbanCanyon => 0x5CE0_0004_C0FF_EE04,
         Family::MovingObstacles => 0x5CE0_0005_C0FF_EE05,
+        Family::Rooms => 0x5CE0_0006_C0FF_EE06,
     }
 }
 
@@ -215,6 +216,69 @@ pub fn generate(family: Family, level: f64, seed: u64) -> Scenario {
                 }
             }
         }
+        Family::Rooms => {
+            // Interior walls carve the floor into a 3×3 room grid.
+            // Every wall span between two crossings keeps exactly one
+            // doorway, so the rooms stay connected, but the doorway
+            // clearance shrinks with level — the clearance constraint
+            // an indoor platform has to thread.
+            let thickness = 0.8;
+            let doorway = 4.5 - 3.3 * level;
+            let lines = [WORLD_SIZE / 3.0, 2.0 * WORLD_SIZE / 3.0];
+            let cuts = [0.0, lines[0], lines[1], WORLD_SIZE];
+            let mut doorways: Vec<Vec2> = Vec::new();
+            for &pos in &lines {
+                for span in 0..3 {
+                    // Vertical wall at x = pos, one span per room row.
+                    let (lo, hi) = (cuts[span], cuts[span + 1]);
+                    let margin = doorway / 2.0 + thickness;
+                    let d = rng.gen_range(lo + margin..hi - margin);
+                    scenario.rects.push(RectObs {
+                        min: Vec2::new(pos - thickness / 2.0, lo),
+                        max: Vec2::new(pos + thickness / 2.0, d - doorway / 2.0),
+                    });
+                    scenario.rects.push(RectObs {
+                        min: Vec2::new(pos - thickness / 2.0, d + doorway / 2.0),
+                        max: Vec2::new(pos + thickness / 2.0, hi),
+                    });
+                    doorways.push(Vec2::new(pos, d));
+                }
+                for span in 0..3 {
+                    // Horizontal wall at y = pos, one span per room column.
+                    let (lo, hi) = (cuts[span], cuts[span + 1]);
+                    let margin = doorway / 2.0 + thickness;
+                    let d = rng.gen_range(lo + margin..hi - margin);
+                    scenario.rects.push(RectObs {
+                        min: Vec2::new(lo, pos - thickness / 2.0),
+                        max: Vec2::new(d - doorway / 2.0, pos + thickness / 2.0),
+                    });
+                    scenario.rects.push(RectObs {
+                        min: Vec2::new(d + doorway / 2.0, pos - thickness / 2.0),
+                        max: Vec2::new(hi, pos + thickness / 2.0),
+                    });
+                    doorways.push(Vec2::new(d, pos));
+                }
+            }
+            // Furniture clutter inside the rooms, kept clear of the
+            // endpoints and of every doorway so connectivity survives.
+            let clutter = (level * 10.0) as usize;
+            let mut placed = 0usize;
+            for _ in 0..clutter * 8 {
+                if placed == clutter {
+                    break;
+                }
+                let radius = rng.gen_range(0.3..0.6);
+                let lo = radius + 0.2;
+                let hi = WORLD_SIZE - radius - 0.2;
+                let c = Vec2::new(rng.gen_range(lo..hi), rng.gen_range(lo..hi));
+                let clears_doorways =
+                    doorways.iter().all(|d| c.distance(*d) > doorway / 2.0 + radius + 0.5);
+                if clears_endpoints(c, radius) && clears_doorways {
+                    scenario.circles.push(CircleObs { center: c, radius });
+                    placed += 1;
+                }
+            }
+        }
     }
 
     GENERATED.incr();
@@ -307,5 +371,23 @@ mod tests {
         assert!(generate(Family::Forest, 0.5, 1).circles.len() >= 8);
         assert_eq!(generate(Family::UrbanCanyon, 0.5, 1).rects.len(), 8);
         assert!(!generate(Family::MovingObstacles, 0.5, 1).movers.is_empty());
+        // Rooms: 4 interior walls × 3 spans × 2 rects around each doorway.
+        assert_eq!(generate(Family::Rooms, 0.5, 1).rects.len(), 24);
+    }
+
+    #[test]
+    fn rooms_doorways_narrow_with_level_but_never_close() {
+        // The widest vertical gap in each wall span is the doorway; it
+        // must shrink with level and stay positive (connectivity).
+        let gap_at = |level: f64| {
+            let s = generate(Family::Rooms, level, 11);
+            // Vertical-wall rects come in pairs around a doorway; the
+            // doorway height is the gap between a pair's two rects.
+            let pair = (&s.rects[0], &s.rects[1]);
+            pair.1.min.y - pair.0.max.y
+        };
+        let (easy, hard) = (gap_at(0.1), gap_at(0.9));
+        assert!(hard < easy, "doorways must narrow: {easy} -> {hard}");
+        assert!(hard > 1.0, "doorways must stay passable: {hard}");
     }
 }

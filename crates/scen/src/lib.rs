@@ -4,8 +4,9 @@
 //! *worlds*. This crate makes scenario supply a first-class subsystem:
 //!
 //! - [`generator`] — deterministic, seeded procedural generators for
-//!   five parametric families (corridor, maze, random forest, urban
-//!   canyon, moving obstacles), each emitting a typed [`Scenario`] with
+//!   six parametric families (corridor, maze, random forest, urban
+//!   canyon, moving obstacles, multi-room indoor), each emitting a
+//!   typed [`Scenario`] with
 //!   an occupancy grid, start/goal, an environment profile (gusts,
 //!   payload, sensor derate), and a computed difficulty score.
 //! - [`dsl`] — a compact textual DSL mirroring `m7_arch::spec`, so

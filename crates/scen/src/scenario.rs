@@ -32,12 +32,22 @@ pub enum Family {
     UrbanCanyon,
     /// A sparse forest plus circular obstacles that move.
     MovingObstacles,
+    /// A multi-room indoor floor plan: interior walls carve the world
+    /// into a 3×3 room grid, every wall span pierced by one doorway
+    /// whose clearance shrinks with difficulty.
+    Rooms,
 }
 
 impl Family {
     /// All families, in generation order.
-    pub const ALL: [Self; 5] =
-        [Self::Corridor, Self::Maze, Self::Forest, Self::UrbanCanyon, Self::MovingObstacles];
+    pub const ALL: [Self; 6] = [
+        Self::Corridor,
+        Self::Maze,
+        Self::Forest,
+        Self::UrbanCanyon,
+        Self::MovingObstacles,
+        Self::Rooms,
+    ];
 
     /// The DSL / report name.
     #[must_use]
@@ -48,6 +58,7 @@ impl Family {
             Self::Forest => "forest",
             Self::UrbanCanyon => "urban-canyon",
             Self::MovingObstacles => "moving",
+            Self::Rooms => "rooms",
         }
     }
 

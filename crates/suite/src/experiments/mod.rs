@@ -15,11 +15,13 @@
 //! | E11 | §2.6 | graceful degradation dominates fault-blind on mission success |
 //! | E12 | §2.1 + §3.1 | procedural scenarios grade tiers; falsification finds the failure frontier |
 //! | E13 | §2.5 | vectorized kernels placed on (and checked against) the roofline |
+//! | E14 | §2.1 + §3.1 | streaming campaigns: stratified coverage with importance splitting |
 
 pub mod e10_contention;
 pub mod e11_robustness;
 pub mod e12_scenarios;
 pub mod e13_roofline;
+pub mod e14_campaign;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -81,12 +83,15 @@ pub enum ExperimentId {
     E12Scenarios,
     /// E13 — measured vs modeled roofline for vectorized kernels (§2.5).
     E13Roofline,
+    /// E14 — streaming mega-campaigns over scenario space (§2.1 + §3.1).
+    E14Campaign,
 }
 
 impl ExperimentId {
-    /// All experiments, in paper order. E13 is appended at the end so the
-    /// position-derived per-experiment seeds of E1-E12 are unchanged.
-    pub const ALL: [Self; 13] = [
+    /// All experiments, in paper order. E13 and E14 are appended at the
+    /// end so the position-derived per-experiment seeds of earlier
+    /// experiments are unchanged.
+    pub const ALL: [Self; 14] = [
         Self::E1Growth,
         Self::E2Bridges,
         Self::E3Metrics,
@@ -100,6 +105,7 @@ impl ExperimentId {
         Self::E11Robustness,
         Self::E12Scenarios,
         Self::E13Roofline,
+        Self::E14Campaign,
     ];
 
     /// Short identifier used in file names and bench targets.
@@ -119,6 +125,7 @@ impl ExperimentId {
             Self::E11Robustness => "e11_robustness",
             Self::E12Scenarios => "e12_scenarios",
             Self::E13Roofline => "e13_roofline",
+            Self::E14Campaign => "e14_campaign",
         }
     }
 
@@ -144,6 +151,9 @@ impl ExperimentId {
             }
             Self::E13Roofline => {
                 "§2.5: vectorized kernels placed on (and checked against) the roofline"
+            }
+            Self::E14Campaign => {
+                "§2.1+§3.1: streaming campaigns pin per-stratum success curves at scale"
             }
         }
     }
@@ -177,6 +187,7 @@ impl ExperimentId {
             Self::E11Robustness => e11_robustness::run(seed).report(),
             Self::E12Scenarios => e12_scenarios::run(seed).report(),
             Self::E13Roofline => e13_roofline::run_with(seed, timing).report(),
+            Self::E14Campaign => e14_campaign::run(seed).report(),
         }
     }
 
@@ -201,6 +212,12 @@ impl ExperimentId {
                 EXPERIMENTS.incr();
                 let _span = m7_trace::span_dyn(self.slug());
                 let (result, saved) = e12_scenarios::run_cached(seed);
+                (result.report(), saved)
+            }
+            Self::E14Campaign => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
+                let (result, saved) = e14_campaign::run_cached(seed);
                 (result.report(), saved)
             }
             other => (other.run_with(seed, timing), 0),
@@ -232,6 +249,12 @@ impl ExperimentId {
                 EXPERIMENTS.incr();
                 let _span = m7_trace::span_dyn(self.slug());
                 let (result, saved) = e12_scenarios::run_cached_with(seed, store);
+                (result.report(), saved)
+            }
+            Self::E14Campaign => {
+                EXPERIMENTS.incr();
+                let _span = m7_trace::span_dyn(self.slug());
+                let (result, saved) = e14_campaign::run_cached_with(seed, store);
                 (result.report(), saved)
             }
             other => (other.run_with(seed, timing), 0),
@@ -318,8 +341,8 @@ pub fn run_selected_parallel(
     Ok(par.par_map(ids, |&id| (id, id.run_with(experiment_seed(root_seed, id), timing))))
 }
 
-/// [`run_selected_serial`], routing cached experiments (today: E9 and
-/// E12)
+/// [`run_selected_serial`], routing cached experiments (today: E9,
+/// E12, and E14)
 /// through their memoized path. Each tuple carries the evaluations the
 /// cache saved for that experiment; reports are byte-identical to the
 /// uncached runner.
@@ -374,8 +397,8 @@ pub fn run_selected_serial_cached_in<S: m7_serve::tier::ResultStore<f64>>(
         .collect())
 }
 
-/// [`run_selected_parallel`], routing cached experiments (today: E9 and
-/// E12)
+/// [`run_selected_parallel`], routing cached experiments (today: E9,
+/// E12, and E14)
 /// through their memoized path on the deterministic pool. Reports and
 /// saved-evaluation counts are identical to
 /// [`run_selected_serial_cached`] at any thread count.
@@ -459,7 +482,7 @@ mod tests {
     fn select_resolves_prefixes_and_defaults_to_all() {
         assert_eq!(select(None).unwrap(), ExperimentId::ALL.to_vec());
         assert_eq!(select(Some("e5")).unwrap(), vec![ExperimentId::E5Brakes]);
-        // "e1" prefixes e1, e10, e11, e12, and e13.
+        // "e1" prefixes e1, e10, e11, e12, e13, and e14.
         assert_eq!(
             select(Some("e1")).unwrap(),
             vec![
@@ -468,6 +491,7 @@ mod tests {
                 ExperimentId::E11Robustness,
                 ExperimentId::E12Scenarios,
                 ExperimentId::E13Roofline,
+                ExperimentId::E14Campaign,
             ]
         );
     }

@@ -13,10 +13,12 @@
 //! - [`sim`] — end-to-end closed-loop simulator ([`m7_sim`])
 //! - [`dse`] — design-space exploration ([`m7_dse`])
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
-//! - [`suite`] — benchmark suite and experiments E1..E12 ([`m7_suite`])
+//! - [`suite`] — benchmark suite and experiments E1..E14 ([`m7_suite`])
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
 //! - [`scen`] — procedural scenario generation, scenario DSL, and
 //!   adversarial falsification ([`m7_scen`])
+//! - [`camp`] — streaming mega-campaigns: stratified sampling,
+//!   importance splitting, mergeable coverage sketches ([`m7_camp`])
 //! - [`serve`] — memoizing evaluation service: content-addressed result
 //!   cache, request batcher, loopback server ([`m7_serve`])
 //! - [`trace`] — structured tracing, metrics & profiling: spans, typed
@@ -36,6 +38,7 @@
 
 pub use m7_arch as arch;
 pub use m7_bench as bench;
+pub use m7_camp as camp;
 pub use m7_dse as dse;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
@@ -59,6 +62,7 @@ pub mod prelude {
         spec::parse_platform,
         workload::{KernelFamily, KernelProfile},
     };
+    pub use m7_camp::{run_campaign, CampaignOutcome, CampaignPlan, StratumSketch};
     pub use m7_dse::{
         explorer::{Explorer, SearchBudget},
         moga::nsga2,
