@@ -4,6 +4,11 @@
 //! - [`roofline`] — the measured-vs-modeled harness behind experiment
 //!   E13 and the repo-root `BENCH_roofline.json` (run via
 //!   `examples/roofline_report.rs`).
+//! - [`sentinel`] — the regression sentinel: a per-metric-class
+//!   tolerance diff over two bench/metric JSON documents (run via
+//!   `examples/bench_sentinel.rs --check A B`; non-zero exit on
+//!   regression). Seeds and guards the repo-root
+//!   `BENCH_serve_latency.json` written by `examples/serve_bench.rs`.
 //! - `benches/experiments.rs` — one benchmark per paper experiment
 //!   (E1-E10), timing a full regeneration of each figure/table
 //!   equivalent.
@@ -19,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod roofline;
+pub mod sentinel;
 
 /// Default seed shared by all benchmark workloads so that Criterion
 /// compares like against like across runs.

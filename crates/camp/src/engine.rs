@@ -28,7 +28,7 @@ use m7_serve::key::{namespace, KeyHasher};
 use m7_serve::tier::ResultStore;
 use m7_serve::CacheKey;
 use m7_sim::uav::ComputeTier;
-use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
+use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceGauge, TraceHistogram};
 
 use crate::plan::CampaignPlan;
 use crate::stats::{coverage_score, StratumSketch};
@@ -40,6 +40,12 @@ static UNITS: TraceCounter = TraceCounter::new("camp.units", MetricClass::Determ
 static STRATUM_BUDGET: TraceHistogram =
     TraceHistogram::new("camp.stratum_budget", MetricClass::Deterministic);
 static UNIT_REPLAYS: TraceCounter = TraceCounter::new("camp.unit_replays", MetricClass::Diagnostic);
+// Per-round progress, refreshed inside the round loop so a telemetry
+// hub sampling mid-campaign sees the trajectory, not just the end
+// state. Final values are pure functions of (plan, seed), so they stay
+// in the deterministic class.
+static ROUNDS_DONE: TraceGauge = TraceGauge::new("camp.rounds_done", MetricClass::Deterministic);
+static COVERAGE_PPM: TraceGauge = TraceGauge::new("camp.coverage_ppm", MetricClass::Deterministic);
 
 /// How sharply importance splitting concentrates around the frontier
 /// anchor (standard deviation of the Gaussian kernel, in difficulty
@@ -216,6 +222,8 @@ where
         total_units += work.len();
         UNITS.add(work.len() as u64);
         EVALUATIONS.add(evaluations as u64);
+        ROUNDS_DONE.set(round as u64 + 1);
+        COVERAGE_PPM.set((coverage_score(&sketches) * 1e6).round() as u64);
         rounds.push(RoundReport {
             round,
             evaluations,

@@ -14,8 +14,9 @@
 //! 8       len   payload
 //! ```
 //!
-//! Kinds `0x01..=0x03` are requests (eval, stats, shutdown); kinds
-//! `0x81..=0x85` are responses (cost, stats, busy, stopping, error).
+//! Kinds `0x01..=0x04` are requests (eval, stats, shutdown, telemetry);
+//! kinds `0x81..=0x86` are responses (cost, stats, busy, stopping,
+//! error, telemetry).
 //! Integers are little-endian; floats travel as [`f64::to_bits`], so a
 //! cost decoded from a frame is the server's cost bit for bit.
 //!
@@ -49,16 +50,20 @@ pub const HEADER_BYTES: usize = 8;
 const KIND_REQ_EVAL: u8 = 0x01;
 const KIND_REQ_STATS: u8 = 0x02;
 const KIND_REQ_SHUTDOWN: u8 = 0x03;
+const KIND_REQ_TELEMETRY: u8 = 0x04;
 const KIND_RESP_COST: u8 = 0x81;
 const KIND_RESP_STATS: u8 = 0x82;
 const KIND_RESP_BUSY: u8 = 0x83;
 const KIND_RESP_STOPPING: u8 = 0x84;
 const KIND_RESP_ERROR: u8 = 0x85;
+const KIND_RESP_TELEMETRY: u8 = 0x86;
 
 /// Longest workload tag / error message carried in a frame.
 const MAX_STRING_BYTES: usize = 4096;
 /// Most design values in one eval request.
 const MAX_VALUES: usize = 4096;
+/// Most `(name, value)` pairs in one telemetry response.
+const MAX_TELEMETRY_PAIRS: usize = 256;
 
 /// Why a byte stream is not a valid frame sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -205,6 +210,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             frame(KIND_REQ_EVAL, &p)
         }
         Request::Stats => frame(KIND_REQ_STATS, &[]),
+        Request::Telemetry => frame(KIND_REQ_TELEMETRY, &[]),
         Request::Shutdown => frame(KIND_REQ_SHUTDOWN, &[]),
     }
 }
@@ -225,6 +231,17 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 p.extend_from_slice(&v.to_le_bytes());
             }
             frame(KIND_RESP_STATS, &p)
+        }
+        Response::Telemetry(stats) => {
+            let pairs = stats.pairs();
+            debug_assert!(pairs.len() <= MAX_TELEMETRY_PAIRS);
+            let mut p = Vec::with_capacity(4 + pairs.len() * 24);
+            p.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (name, value) in pairs {
+                put_string(&mut p, name);
+                p.extend_from_slice(&value.to_le_bytes());
+            }
+            frame(KIND_RESP_TELEMETRY, &p)
         }
         Response::Busy => frame(KIND_RESP_BUSY, &[]),
         Response::Stopping => frame(KIND_RESP_STOPPING, &[]),
@@ -265,6 +282,10 @@ fn decode_request_payload(kind: u8, payload: &[u8]) -> Result<Request, FrameErro
             Reader::new(payload).finish()?;
             Ok(Request::Stats)
         }
+        KIND_REQ_TELEMETRY => {
+            Reader::new(payload).finish()?;
+            Ok(Request::Telemetry)
+        }
         KIND_REQ_SHUTDOWN => {
             Reader::new(payload).finish()?;
             Ok(Request::Shutdown)
@@ -298,6 +319,23 @@ fn decode_response_payload(kind: u8, payload: &[u8]) -> Result<Response, FrameEr
             };
             r.finish()?;
             Ok(Response::Stats(stats))
+        }
+        KIND_RESP_TELEMETRY => {
+            let mut r = Reader::new(payload);
+            let n = r.u32("telemetry.len")? as usize;
+            if n > MAX_TELEMETRY_PAIRS {
+                return Err(FrameError::BadField("telemetry.len"));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.string("telemetry.name")?;
+                let value = r.u64("telemetry.value")?;
+                pairs.push((name, value));
+            }
+            r.finish()?;
+            Ok(Response::Telemetry(Box::new(crate::introspect::ServerStats::from_pairs(
+                pairs.iter().map(|(k, v)| (k.as_str(), *v)),
+            ))))
         }
         KIND_RESP_BUSY => {
             Reader::new(payload).finish()?;
@@ -383,11 +421,13 @@ impl FrameDecoder {
             KIND_REQ_EVAL
                 | KIND_REQ_STATS
                 | KIND_REQ_SHUTDOWN
+                | KIND_REQ_TELEMETRY
                 | KIND_RESP_COST
                 | KIND_RESP_STATS
                 | KIND_RESP_BUSY
                 | KIND_RESP_STOPPING
                 | KIND_RESP_ERROR
+                | KIND_RESP_TELEMETRY
         ) {
             return self.poison(FrameError::UnknownKind(kind));
         }
@@ -463,6 +503,7 @@ mod tests {
             Request::Eval(EvalRequest::new("uav-mission", vec![1.0, -0.0, 1e300], 42)),
             Request::Eval(EvalRequest::new("", vec![], 0)),
             Request::Stats,
+            Request::Telemetry,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -596,6 +637,32 @@ mod tests {
         let mut d = FrameDecoder::new();
         d.feed(&bytes);
         assert_eq!(d.next_request().unwrap_err(), FrameError::TrailingBytes(3));
+    }
+
+    #[test]
+    fn telemetry_response_round_trips() {
+        let stats = crate::introspect::ServerStats {
+            uptime_ms: 5000,
+            requests: 123456789,
+            shed: 7,
+            ..crate::introspect::ServerStats::default()
+        };
+        let mut d = FrameDecoder::new();
+        d.feed(&encode_response(&Response::Telemetry(Box::new(stats.clone()))));
+        assert_eq!(d.next_response().unwrap(), Some(Response::Telemetry(Box::new(stats))));
+        assert_eq!(d.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn telemetry_pair_count_is_bounded() {
+        let mut p = Vec::new();
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = vec![MAGIC, VERSION, KIND_RESP_TELEMETRY, 0];
+        bytes.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&p);
+        let mut d = FrameDecoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_response().unwrap_err(), FrameError::BadField("telemetry.len"));
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! - [`frame`] — the versioned length-prefixed binary protocol: an
 //!   incremental decoder that validates before it allocates and never
 //!   panics on adversarial bytes.
+//! - [`introspect`] — the live-telemetry payload: per-phase latency
+//!   quantiles, connection/pending gauges, shed/reap counters, and tier
+//!   and recovery stats, answered inline from the readiness loop over
+//!   both protocols.
+//! - [`journal`] — the crash-safe flight journal: telemetry snapshots
+//!   streamed through the [`segment`] store so `kill -9` leaves a
+//!   recoverable record, plus the [`journal::TelemetryPump`] helper that
+//!   wires `--stats-interval`/`--journal` flags into a running hub.
 //! - [`server`] — a non-blocking readiness-loop service on a loopback
 //!   [`std::net::TcpListener`]: connection limits and a bounded pending
 //!   queue that shed load with an explicit `busy` response, per-protocol
@@ -69,6 +77,8 @@
 pub mod batch;
 pub mod cache;
 pub mod frame;
+pub mod introspect;
+pub mod journal;
 pub mod key;
 pub mod segment;
 pub mod server;
@@ -78,6 +88,8 @@ pub mod wire;
 pub use batch::{evaluate_batch_memo, BatchOutcome};
 pub use cache::{CacheStats, EvalCache};
 pub use frame::{FrameDecoder, FrameError};
+pub use introspect::{PhaseStats, ServerStats};
+pub use journal::{recover_snapshot, FlightJournal, TelemetryPump};
 pub use key::{CacheKey, EvalRequest, KeyHasher};
 pub use segment::{DiskCodec, RecoveryReport, SegmentConfig, SegmentStore};
 pub use server::{EvalClient, EvalServer, Evaluator, FramedClient, ServeConfig, ServerHandle};

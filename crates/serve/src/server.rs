@@ -35,12 +35,15 @@
 use crate::batch::evaluate_batch_memo_flagged;
 use crate::cache::CacheStats;
 use crate::frame::{encode_response, FrameDecoder};
+use crate::introspect::{PhaseStats, ServerStats};
 use crate::key::{namespace, EvalRequest};
 use crate::segment::{RecoveryReport, SegmentConfig};
 use crate::tier::{TierConfig, TierStats, TieredCache};
 use crate::wire::{format_response, parse_request, Request, Response};
 use m7_par::ParConfig;
-use m7_trace::{Counter, MetricClass, SpanSite, TraceCounter, TraceHistogram};
+use m7_trace::{
+    Counter, Gauge, Histogram, MetricClass, SpanSite, TraceCounter, TraceGauge, TraceHistogram,
+};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -51,14 +54,31 @@ use std::time::{Duration, Instant};
 
 // Request-lifecycle observability (no-ops until `m7_trace::enable()`).
 // Everything here depends on client arrival order and host scheduling,
-// so it is all diagnostic-class.
+// so it is all diagnostic-class. The same numbers are also counted in
+// always-on per-server state (see `Shared`), which is what the
+// `telemetry` request and the `ServerHandle` accessors answer from —
+// exact whether or not tracing is enabled.
 static DISPATCH_SPAN: SpanSite = SpanSite::new("sched.serve.dispatch", MetricClass::Diagnostic);
 static REQUESTS: TraceCounter = TraceCounter::new("serve.requests", MetricClass::Diagnostic);
 static BUSY_SHED: TraceCounter = TraceCounter::new("serve.busy_shed", MetricClass::Diagnostic);
+static REAPED: TraceCounter = TraceCounter::new("serve.reaped", MetricClass::Diagnostic);
 static QUEUE_WAIT_NS: TraceHistogram =
     TraceHistogram::new("sched.serve.queue_wait_ns", MetricClass::Diagnostic);
 static DISPATCH_BATCH: TraceHistogram =
     TraceHistogram::new("sched.serve.dispatch_batch", MetricClass::Diagnostic);
+// Per-phase latency mirrors for the telemetry hub/journal; registry
+// names line up with the `accept→parse→dispatch→write` loop phases.
+static PHASE_ACCEPT_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.phase_accept_ns", MetricClass::Diagnostic);
+static PHASE_PARSE_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.phase_parse_ns", MetricClass::Diagnostic);
+static PHASE_DISPATCH_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.phase_dispatch_ns", MetricClass::Diagnostic);
+static PHASE_WRITE_NS: TraceHistogram =
+    TraceHistogram::new("sched.serve.phase_write_ns", MetricClass::Diagnostic);
+static CONNECTIONS_GAUGE: TraceGauge =
+    TraceGauge::new("sched.serve.connections", MetricClass::Diagnostic);
+static PENDING_GAUGE: TraceGauge = TraceGauge::new("sched.serve.pending", MetricClass::Diagnostic);
 
 /// Upper bound on one legacy text message; larger requests are rejected.
 const MAX_MESSAGE_BYTES: usize = 64 * 1024;
@@ -136,6 +156,45 @@ impl<F: Fn(&EvalRequest) -> Result<f64, String> + Send + Sync> Evaluator for F {
     }
 }
 
+/// Always-on latency histograms, one per event-loop phase. Recording is
+/// a few relaxed atomic ops per turn that did work — cheap enough to
+/// keep exact regardless of the trace-enable flag, which is what lets
+/// the `telemetry` request answer with real quantiles on any server.
+struct PhaseClocks {
+    accept: Histogram,
+    parse: Histogram,
+    dispatch: Histogram,
+    write: Histogram,
+}
+
+impl PhaseClocks {
+    const fn new() -> Self {
+        Self {
+            accept: Histogram::new(),
+            parse: Histogram::new(),
+            dispatch: Histogram::new(),
+            write: Histogram::new(),
+        }
+    }
+}
+
+fn phase_stats(h: &Histogram) -> PhaseStats {
+    PhaseStats {
+        count: h.count(),
+        p50_ns: h.quantile_upper_bound(0.50),
+        p95_ns: h.quantile_upper_bound(0.95),
+        p99_ns: h.quantile_upper_bound(0.99),
+    }
+}
+
+/// Records one phase's duration into the always-on histogram and its
+/// gated registry mirror (for the telemetry hub / flight journal).
+fn record_phase(exact: &Histogram, mirror: &TraceHistogram, since: Instant) {
+    let ns = u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    exact.record(ns);
+    mirror.record(ns);
+}
+
 /// State shared between the event thread and the handle.
 struct Shared {
     stop: AtomicBool,
@@ -144,8 +203,49 @@ struct Shared {
     cache: TieredCache<Result<f64, String>>,
     /// Connections or requests answered `busy`.
     shed: Counter,
+    /// Requests dispatched.
+    requests: Counter,
+    /// Connections reaped for exceeding the io timeout while stuck.
+    reaped: Counter,
+    /// Connections currently held by the event loop (updated per turn).
+    connections: Gauge,
+    /// Requests awaiting dispatch (updated per turn).
+    pending_depth: Gauge,
+    /// Per-phase latency, exact and always on.
+    phases: PhaseClocks,
+    /// When the server was spawned (uptime reference).
+    started: Instant,
     config: ServeConfig,
     evaluator: Arc<dyn Evaluator>,
+}
+
+/// Builds the `telemetry` answer from the shared state. Pure reads of
+/// atomics — called inline from the parse phase without blocking.
+fn server_stats(shared: &Shared) -> ServerStats {
+    let tier = shared.cache.stats();
+    let recovery = shared.cache.recovery();
+    ServerStats {
+        uptime_ms: u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        connections: shared.connections.get(),
+        pending: shared.pending_depth.get(),
+        requests: shared.requests.get(),
+        shed: shared.shed.get(),
+        reaped: shared.reaped.get(),
+        accept: phase_stats(&shared.phases.accept),
+        parse: phase_stats(&shared.phases.parse),
+        dispatch: phase_stats(&shared.phases.dispatch),
+        write: phase_stats(&shared.phases.write),
+        hot_hits: tier.hot_hits,
+        disk_hits: tier.disk_hits,
+        misses: tier.misses,
+        insertions: tier.insertions,
+        disk_errors: tier.disk_errors,
+        hot_entries: tier.hot_entries as u64,
+        disk_entries: tier.disk_entries as u64,
+        compactions: tier.compactions,
+        recovered_entries: recovery.map_or(0, |r| r.live_entries as u64),
+        recovery_torn_bytes: recovery.map_or(0, |r| r.torn_bytes),
+    }
 }
 
 /// A running server: its bound address plus the event-thread handle
@@ -180,6 +280,12 @@ impl EvalServer {
             stop: AtomicBool::new(false),
             cache,
             shed: Counter::new(),
+            requests: Counter::new(),
+            reaped: Counter::new(),
+            connections: Gauge::new(),
+            pending_depth: Gauge::new(),
+            phases: PhaseClocks::new(),
+            started: Instant::now(),
             config,
             evaluator,
         });
@@ -225,6 +331,20 @@ impl ServerHandle {
     #[must_use]
     pub fn shed_count(&self) -> u64 {
         self.shared.shed.get()
+    }
+
+    /// Exact count of connections reaped for being stuck past the io
+    /// timeout.
+    #[must_use]
+    pub fn reap_count(&self) -> u64 {
+        self.shared.reaped.get()
+    }
+
+    /// The full live-telemetry snapshot — the same payload the
+    /// `telemetry` request answers on the wire.
+    #[must_use]
+    pub fn server_stats(&self) -> ServerStats {
+        server_stats(&self.shared)
     }
 
     /// Stops the server and joins the event thread. The disk tier (if
@@ -343,10 +463,13 @@ fn event_loop(listener: &TcpListener, shared: &Shared) {
 
         // Accept phase: drain the listener; over the connection limit,
         // shed explicitly with `busy` instead of queueing.
+        let accept_started = Instant::now();
+        let mut accepted = false;
         loop {
             match listener.accept() {
                 Ok((stream, _)) => {
                     progress = true;
+                    accepted = true;
                     if stopping {
                         continue; // dropped: no new work while draining
                     }
@@ -364,10 +487,19 @@ fn event_loop(listener: &TcpListener, shared: &Shared) {
                 Err(_) => break,
             }
         }
+        if accepted {
+            record_phase(&shared.phases.accept, &PHASE_ACCEPT_NS, accept_started);
+        }
+        // Keep the live gauges fresh before any telemetry request is
+        // parsed this turn, so answers reflect this turn's state.
+        shared.connections.set(conns.len() as u64);
+        CONNECTIONS_GAUGE.set(conns.len() as u64);
 
         // Read phase: pull bytes, sniff the protocol, parse complete
         // messages into the pending queue (or answer control requests
         // inline).
+        let parse_started = Instant::now();
+        let mut parsed_any = false;
         for (id, conn) in &mut conns {
             if conn.close_after_flush {
                 continue;
@@ -375,17 +507,25 @@ fn event_loop(listener: &TcpListener, shared: &Shared) {
             let read = pump_read(conn);
             if read > 0 {
                 progress = true;
+                parsed_any = true;
             }
             parse_conn(*id, conn, shared, &mut pending);
         }
+        if parsed_any {
+            record_phase(&shared.phases.parse, &PHASE_PARSE_NS, parse_started);
+        }
+        shared.pending_depth.set(pending.len() as u64);
+        PENDING_GAUGE.set(pending.len() as u64);
 
         // Dispatch phase: drain one batch through the tiered cache and
         // the pool, then scatter responses to their connections.
         if !pending.is_empty() {
             progress = true;
             let _span = DISPATCH_SPAN.enter();
+            let dispatch_started = Instant::now();
             let take = pending.len().min(shared.config.max_batch.max(1));
             let batch: Vec<PendingReq> = pending.drain(..take).collect();
+            shared.requests.add(batch.len() as u64);
             REQUESTS.add(batch.len() as u64);
             DISPATCH_BATCH.record(batch.len() as u64);
             for req in &batch {
@@ -412,18 +552,25 @@ fn event_loop(listener: &TcpListener, shared: &Shared) {
                 // A vanished connection just discards its response —
                 // the result is cached either way.
             }
+            record_phase(&shared.phases.dispatch, &PHASE_DISPATCH_NS, dispatch_started);
         }
 
         // Write phase: flush what each socket will take.
+        let write_started = Instant::now();
+        let mut wrote_any = false;
         for (_, conn) in &mut conns {
             if pump_write(conn) {
                 progress = true;
+                wrote_any = true;
             }
+        }
+        if wrote_any {
+            record_phase(&shared.phases.write, &PHASE_WRITE_NS, write_started);
         }
 
         // Reap phase: closed, finished, or stuck-past-timeout conns.
         let timeout = shared.config.io_timeout;
-        conns.retain_mut(|(_, conn)| retain_conn(conn, timeout));
+        conns.retain_mut(|(_, conn)| retain_conn(conn, timeout, &shared.reaped));
 
         if shared.stop.load(Ordering::SeqCst) {
             let drained = pending.is_empty()
@@ -579,6 +726,12 @@ fn parse_conn(id: u64, conn: &mut Conn, shared: &Shared, pending: &mut VecDeque<
                 conn.queue_response(&Response::Stats(wire_stats(&shared.cache)));
                 end_legacy_turn(conn);
             }
+            Request::Telemetry => {
+                // Answered inline like Stats: pure atomic reads, no
+                // dispatch, so introspection never stalls the loop.
+                conn.queue_response(&Response::Telemetry(Box::new(server_stats(shared))));
+                end_legacy_turn(conn);
+            }
             Request::Shutdown => {
                 conn.queue_response(&Response::Stopping);
                 conn.close_after_flush = true;
@@ -660,8 +813,8 @@ fn pump_write(conn: &mut Conn) -> bool {
 }
 
 /// Whether to keep a connection for the next turn; updates its stuck
-/// clock.
-fn retain_conn(conn: &mut Conn, timeout: Duration) -> bool {
+/// clock. Timeout reaps are counted (other departures are normal ends).
+fn retain_conn(conn: &mut Conn, timeout: Duration, reaped: &Counter) -> bool {
     let done_writing = conn.out.is_empty();
     if conn.close_after_flush && done_writing {
         return false;
@@ -687,6 +840,8 @@ fn retain_conn(conn: &mut Conn, timeout: Duration) -> bool {
         (true, None) => conn.stuck_since = Some(Instant::now()),
         (true, Some(since)) => {
             if since.elapsed() > timeout {
+                reaped.incr();
+                REAPED.incr();
                 return false;
             }
         }
@@ -767,6 +922,16 @@ impl EvalClient {
     /// not parse.
     pub fn stats(&self) -> io::Result<Response> {
         self.roundtrip(&Request::Stats)
+    }
+
+    /// Requests the full live-telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error, or `InvalidData` when the response does
+    /// not parse.
+    pub fn telemetry(&self) -> io::Result<Response> {
+        self.roundtrip(&Request::Telemetry)
     }
 
     /// Sends the shutdown sentinel.
@@ -882,6 +1047,15 @@ impl FramedClient {
         self.request(&Request::Stats)
     }
 
+    /// Requests the full live-telemetry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`FramedClient::request`].
+    pub fn telemetry(&mut self) -> io::Result<Response> {
+        self.request(&Request::Telemetry)
+    }
+
     /// Sends the shutdown sentinel.
     ///
     /// # Errors
@@ -956,6 +1130,32 @@ mod tests {
         let Response::Cost { cost: b, cached } = binary.eval(&req).unwrap() else { panic!() };
         assert!(cached, "binary client must hit the legacy client's entry");
         assert_eq!(a.to_bits(), b.to_bits());
+        server.shutdown();
+    }
+
+    #[test]
+    fn telemetry_answers_on_both_protocols() {
+        let server = spawn_default();
+        let legacy = EvalClient::new(server.addr());
+        for i in 0..4u32 {
+            let _ = legacy.eval(&EvalRequest::new("mission", vec![f64::from(i)], 0)).unwrap();
+        }
+        let Response::Telemetry(over_text) = legacy.telemetry().unwrap() else {
+            panic!("want telemetry")
+        };
+        assert_eq!(over_text.requests, 4);
+        assert!(over_text.dispatch.count >= 1, "dispatch phase must have samples");
+        assert!(over_text.dispatch.p99_ns >= over_text.dispatch.p50_ns);
+        assert_eq!(over_text.misses, 4);
+
+        let mut binary = FramedClient::connect(server.addr()).unwrap();
+        let Response::Telemetry(over_frames) = binary.telemetry().unwrap() else {
+            panic!("want telemetry")
+        };
+        // The framed query itself parses but never dispatches.
+        assert_eq!(over_frames.requests, 4);
+        assert!(over_frames.parse.count >= over_text.parse.count);
+        assert_eq!(server.server_stats().requests, 4);
         server.shutdown();
     }
 

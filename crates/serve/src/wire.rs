@@ -16,6 +16,7 @@
 //! by the server.
 
 use crate::cache::CacheStats;
+use crate::introspect::ServerStats;
 use crate::key::EvalRequest;
 
 /// A request message.
@@ -25,6 +26,8 @@ pub enum Request {
     Eval(EvalRequest),
     /// Report cache statistics.
     Stats,
+    /// Report full live server telemetry ([`ServerStats`]).
+    Telemetry,
     /// Sentinel: shut the server down cleanly.
     Shutdown,
 }
@@ -42,6 +45,9 @@ pub enum Response {
     },
     /// Cache statistics snapshot.
     Stats(CacheStats),
+    /// Live server telemetry snapshot (boxed: [`ServerStats`] is by far
+    /// the widest payload, and responses are moved around by value).
+    Telemetry(Box<ServerStats>),
     /// The pending queue was full; the request was shed, not queued.
     Busy,
     /// Acknowledgement of a shutdown sentinel.
@@ -186,6 +192,7 @@ pub fn parse_request(text: &str) -> Result<Request, WireError> {
             Ok(Request::Eval(EvalRequest { workload, values, seed }))
         }
         "stats" => Ok(Request::Stats),
+        "telemetry" => Ok(Request::Telemetry),
         "shutdown" => Ok(Request::Shutdown),
         other => {
             Err(WireError { line: op_line, kind: WireErrorKind::UnknownOp(other.to_string()) })
@@ -207,6 +214,7 @@ pub fn format_request(request: &Request) -> String {
             )
         }
         Request::Stats => "op = stats\n\n".to_string(),
+        Request::Telemetry => "op = telemetry\n\n".to_string(),
         Request::Shutdown => "op = shutdown\n\n".to_string(),
     }
 }
@@ -225,7 +233,12 @@ pub fn parse_response(text: &str) -> Result<Response, WireError> {
     let mut error: Option<String> = None;
     let mut stats = CacheStats::default();
     let mut saw_stats_field = false;
+    let mut telemetry: Vec<(String, u64)> = Vec::new();
     for (line, key, value) in fields(text)? {
+        if let Some(name) = key.strip_prefix("telemetry.") {
+            telemetry.push((name.to_string(), parse_u64(line, key, value)?));
+            continue;
+        }
         match key {
             "status" => status = Some(value.to_string()),
             "cost" => cost = Some(parse_f64(line, key, value)?),
@@ -262,6 +275,10 @@ pub fn parse_response(text: &str) -> Result<Response, WireError> {
         Some("ok") => {
             if let Some(cost) = cost {
                 Ok(Response::Cost { cost, cached })
+            } else if !telemetry.is_empty() {
+                Ok(Response::Telemetry(Box::new(ServerStats::from_pairs(
+                    telemetry.iter().map(|(k, v)| (k.as_str(), *v)),
+                ))))
             } else if saw_stats_field {
                 Ok(Response::Stats(stats))
             } else {
@@ -293,6 +310,14 @@ pub fn format_response(response: &Response) -> String {
              entries = {}\n\n",
             s.hits, s.misses, s.evictions, s.insertions, s.entries
         ),
+        Response::Telemetry(stats) => {
+            let mut out = String::from("status = ok\n");
+            for (name, value) in stats.pairs() {
+                out.push_str(&format!("telemetry.{name} = {value}\n"));
+            }
+            out.push('\n');
+            out
+        }
         Response::Busy => "status = busy\n\n".to_string(),
         Response::Stopping => "status = ok\nstopping = true\n\n".to_string(),
         Response::Error(msg) => {
@@ -316,9 +341,28 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for req in [Request::Stats, Request::Shutdown] {
+        for req in [Request::Stats, Request::Telemetry, Request::Shutdown] {
             assert_eq!(parse_request(&format_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn telemetry_response_round_trips() {
+        let stats = ServerStats {
+            uptime_ms: 42,
+            connections: 2,
+            pending: 1,
+            requests: 1000,
+            shed: 3,
+            reaped: 1,
+            hot_hits: 900,
+            misses: 100,
+            insertions: 100,
+            ..ServerStats::default()
+        };
+        let text = format_response(&Response::Telemetry(Box::new(stats.clone())));
+        assert!(text.contains("telemetry.requests = 1000"), "{text}");
+        assert_eq!(parse_response(&text).unwrap(), Response::Telemetry(Box::new(stats)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Shared command-line handling for the observability flags every
-//! example binary accepts: `--threads N`, `--trace FILE`, `--metrics`.
+//! example binary accepts: `--threads N`, `--trace FILE`, `--metrics`,
+//! `--stats-interval MS`, `--journal DIR`.
 //!
 //! Each binary used to hand-roll the same three match arms; this module
 //! centralizes them while leaving usage messages and unknown-argument
@@ -30,6 +31,12 @@ pub struct ObsFlags {
     pub trace_out: Option<String>,
     /// `--metrics`: dump `key=value` metrics to stderr on exit.
     pub metrics: bool,
+    /// `--stats-interval MS`: telemetry-hub sampling cadence in
+    /// milliseconds. Implied (at the default cadence) by `--journal`.
+    pub stats_interval: Option<u64>,
+    /// `--journal DIR`: stream hub snapshots into a crash-safe flight
+    /// journal under DIR (an `m7-serve` segment store).
+    pub journal: Option<String>,
 }
 
 impl ObsFlags {
@@ -64,15 +71,54 @@ impl ObsFlags {
                 self.metrics = true;
                 true
             }
+            "--stats-interval" => {
+                let v = rest.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--stats-interval needs a positive integer (milliseconds)");
+                    std::process::exit(2);
+                };
+                if v == 0 {
+                    eprintln!("--stats-interval must be at least 1 millisecond");
+                    std::process::exit(2);
+                }
+                self.stats_interval = Some(v);
+                true
+            }
+            "--journal" => {
+                let Some(dir) = rest.next().filter(|d| !d.is_empty()) else {
+                    eprintln!("--journal needs a directory path");
+                    std::process::exit(2);
+                };
+                self.journal = Some(dir);
+                true
+            }
             _ => false,
         }
     }
 
-    /// Enables tracing if either observability output was requested.
+    /// Enables tracing if any observability output was requested.
     /// Call once, after the argument loop.
     pub fn activate(&self) {
-        if self.trace_out.is_some() || self.metrics {
+        if self.trace_out.is_some() || self.metrics || self.wants_hub() {
             crate::enable();
+        }
+    }
+
+    /// Whether a telemetry hub should run (`--stats-interval` or
+    /// `--journal` given). Binaries pass this to the shared pump helper
+    /// in `m7-serve` that owns the journal sink.
+    #[must_use]
+    pub fn wants_hub(&self) -> bool {
+        self.stats_interval.is_some() || self.journal.is_some()
+    }
+
+    /// The hub cadence: `--stats-interval`, or the [`crate::hub::HubConfig`]
+    /// default when only `--journal` was given.
+    #[must_use]
+    pub fn hub_config(&self) -> crate::hub::HubConfig {
+        match self.stats_interval {
+            Some(ms) => crate::hub::HubConfig { interval: std::time::Duration::from_millis(ms) },
+            None => crate::hub::HubConfig::default(),
         }
     }
 
@@ -115,8 +161,27 @@ mod tests {
         assert!(obs.consume("--metrics", &mut rest));
         assert_eq!(
             obs,
-            ObsFlags { threads: Some(8), trace_out: Some("out.json".to_string()), metrics: true }
+            ObsFlags {
+                threads: Some(8),
+                trace_out: Some("out.json".to_string()),
+                metrics: true,
+                ..ObsFlags::default()
+            }
         );
+    }
+
+    #[test]
+    fn consumes_stats_interval_and_journal() {
+        let mut obs = ObsFlags::default();
+        let mut rest = iter(&["50"]);
+        assert!(obs.consume("--stats-interval", &mut rest));
+        let mut rest = iter(&["/tmp/journal"]);
+        assert!(obs.consume("--journal", &mut rest));
+        assert_eq!(obs.stats_interval, Some(50));
+        assert_eq!(obs.journal.as_deref(), Some("/tmp/journal"));
+        assert!(obs.wants_hub());
+        assert_eq!(obs.hub_config().interval, std::time::Duration::from_millis(50));
+        assert!(!ObsFlags::default().wants_hub());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The live telemetry hub: a background sampler that turns the metric
+//! registry into a stream of [`Snapshot`]/[`SnapshotDelta`] records.
+//!
+//! [`TelemetryHub::start`] spawns one thread that, on a configurable
+//! cadence, captures the registry, computes the delta against the
+//! previous sample, and — only if something changed — publishes to every
+//! attached [`SnapshotSink`] (the on-disk flight journal in `m7-serve`,
+//! or anything else implementing the trait). The latest snapshot is
+//! always queryable in-process via [`TelemetryHub::latest`].
+//!
+//! Sampling is strictly read-only over the registry's atomics: it never
+//! touches modeled clocks, seeds, or any simulation state, so golden
+//! reports are byte-identical with the hub running at any cadence
+//! (guarded by `tests/golden_reports.rs`).
+//!
+//! Sequence numbers are contiguous from 0 (the baseline full snapshot);
+//! quiet intervals publish nothing and do not consume a sequence
+//! number, which is what lets a journal reader replay `0..n` and know
+//! the first gap is the end of the acked prefix.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{Snapshot, SnapshotDelta};
+
+/// A consumer of the hub's snapshot stream.
+///
+/// `delta` is `None` exactly once, for the seq-0 baseline; afterwards it
+/// carries the changes that turn the previous published snapshot into
+/// `snapshot`. Sinks run on the hub thread — keep `publish` cheap or
+/// buffer internally.
+pub trait SnapshotSink: Send {
+    /// Consumes one published snapshot.
+    fn publish(&mut self, snapshot: &Snapshot, delta: Option<&SnapshotDelta>);
+}
+
+/// Hub cadence configuration.
+#[derive(Debug, Clone)]
+pub struct HubConfig {
+    /// Sampling interval. Sub-millisecond cadences are honored; the
+    /// stop flag is still checked at least every 50 ms.
+    pub interval: Duration,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        Self { interval: Duration::from_millis(250) }
+    }
+}
+
+struct HubShared {
+    stop: AtomicBool,
+    published: AtomicU64,
+    latest: Mutex<Option<Snapshot>>,
+}
+
+/// Handle to the background sampler. Dropping it stops the thread after
+/// one final sample, so the last pre-shutdown state always reaches the
+/// sinks.
+pub struct TelemetryHub {
+    shared: Arc<HubShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryHub {
+    /// Starts sampling into `sinks`. Enables tracing (the gated metrics
+    /// must count for there to be anything to sample) — a no-op if it
+    /// was already on.
+    #[must_use]
+    pub fn start(config: HubConfig, sinks: Vec<Box<dyn SnapshotSink>>) -> Self {
+        crate::enable();
+        let shared = Arc::new(HubShared {
+            stop: AtomicBool::new(false),
+            published: AtomicU64::new(0),
+            latest: Mutex::new(None),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("m7-telemetry-hub".into())
+            .spawn(move || run(&worker, config.interval, sinks))
+            .expect("spawn telemetry hub thread");
+        Self { shared, thread: Some(thread) }
+    }
+
+    /// The most recently published snapshot, if any interval has had
+    /// activity yet.
+    #[must_use]
+    pub fn latest(&self) -> Option<Snapshot> {
+        self.shared.latest.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// How many records (baseline + non-empty deltas) have been
+    /// published to the sinks so far.
+    #[must_use]
+    pub fn snapshots_published(&self) -> u64 {
+        self.shared.published.load(Ordering::Acquire)
+    }
+
+    /// Stops the sampler: takes one final sample, flushes it to the
+    /// sinks, and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            thread.thread().unpark();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run(shared: &HubShared, interval: Duration, mut sinks: Vec<Box<dyn SnapshotSink>>) {
+    let started = Instant::now();
+    let mut prev: Option<Snapshot> = None;
+    loop {
+        let stopping = shared.stop.load(Ordering::Acquire);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        // `latest` and the published count are updated *before* the
+        // sinks run: anyone woken by a sink (a test on a channel, a
+        // process tailing the journal) must already see this record
+        // reflected in `latest()`.
+        match &prev {
+            None => {
+                // Baseline: a full snapshot at seq 0, published even if
+                // the registry is empty so recovery always has an anchor.
+                let snap = Snapshot::capture(0, wall_ms);
+                *shared.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap.clone());
+                shared.published.fetch_add(1, Ordering::AcqRel);
+                for sink in &mut sinks {
+                    sink.publish(&snap, None);
+                }
+                prev = Some(snap);
+            }
+            Some(last) => {
+                let snap = Snapshot::capture(last.seq + 1, wall_ms);
+                let delta = snap.delta_from(last);
+                if !delta.is_empty() {
+                    *shared.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap.clone());
+                    shared.published.fetch_add(1, Ordering::AcqRel);
+                    for sink in &mut sinks {
+                        sink.publish(&snap, Some(&delta));
+                    }
+                    prev = Some(snap);
+                }
+            }
+        }
+        if stopping {
+            return;
+        }
+        // Park in bounded slices so stop() never waits a full interval.
+        let deadline = Instant::now() + interval;
+        while !shared.stop.load(Ordering::Acquire) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::park_timeout((deadline - now).min(Duration::from_millis(50)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricClass;
+    use crate::TraceCounter;
+    use std::sync::mpsc;
+
+    static HUB_TEST_TICKS: TraceCounter =
+        TraceCounter::new("hubtest.ticks", MetricClass::Diagnostic);
+
+    struct ChannelSink(mpsc::Sender<(u64, bool)>);
+
+    impl SnapshotSink for ChannelSink {
+        fn publish(&mut self, snapshot: &Snapshot, delta: Option<&SnapshotDelta>) {
+            let _ = self.0.send((snapshot.seq, delta.is_some()));
+        }
+    }
+
+    #[test]
+    fn publishes_baseline_then_deltas_and_skips_quiet_intervals() {
+        let _guard = crate::tests::GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::enable();
+        let (tx, rx) = mpsc::channel();
+        let hub = TelemetryHub::start(
+            HubConfig { interval: Duration::from_millis(5) },
+            vec![Box::new(ChannelSink(tx))],
+        );
+
+        let (seq0, had_delta) = rx.recv_timeout(Duration::from_secs(5)).expect("baseline");
+        assert_eq!(seq0, 0);
+        assert!(!had_delta, "the baseline must be a full record");
+
+        HUB_TEST_TICKS.incr();
+        // Other registry traffic may interleave; drain deltas until ours
+        // shows up, checking contiguity along the way.
+        let mut expected = seq0 + 1;
+        loop {
+            let (seq, had_delta) = rx.recv_timeout(Duration::from_secs(5)).expect("a delta");
+            assert!(had_delta, "subsequent records must be deltas");
+            assert_eq!(seq, expected, "sequence numbers are contiguous");
+            expected += 1;
+            let latest = hub.latest().expect("latest snapshot");
+            if latest.metrics.counter("hubtest.ticks").unwrap_or(0) >= 1 {
+                break;
+            }
+        }
+        let published = hub.snapshots_published();
+        assert!(published >= 2);
+        hub.stop();
+        crate::disable();
+    }
+}

@@ -20,6 +20,13 @@
 //!   `chrome://tracing` or <https://ui.perfetto.dev>), a flat text
 //!   report, and a machine-readable `key = value` dump.
 //!
+//! A fourth pillar makes the plane *live* instead of post-mortem: the
+//! [`hub::TelemetryHub`] samples the registry on a cadence into
+//! versioned, delta-encoded [`snapshot::Snapshot`] records and streams
+//! them to pluggable [`hub::SnapshotSink`]s (e.g. `m7-serve`'s
+//! crash-safe flight journal), driven by the shared
+//! `--stats-interval`/`--journal` CLI flags.
+//!
 //! Tracing is **off by default** and the disabled path is one relaxed
 //! atomic load plus a predictable branch — golden reports and benchmark
 //! numbers are unaffected until [`enable`] is called (or the
@@ -49,17 +56,24 @@
 
 pub mod cli;
 pub mod export;
+pub mod hub;
 pub mod metrics;
 pub mod recorder;
+pub mod snapshot;
 pub mod span;
 
 pub use cli::ObsFlags;
 pub use export::{
     chrome_trace_json, kv_dump, parse_json, text_report, validate_chrome_trace, Json, TraceSummary,
 };
+pub use hub::{HubConfig, SnapshotSink, TelemetryHub};
 pub use metrics::{
     registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricClass, MetricEntry, MetricValue,
     MetricsSnapshot, TraceCounter, TraceGauge, TraceHistogram, HISTOGRAM_BUCKETS,
+};
+pub use snapshot::{
+    decode_record, DeltaEntry, DeltaValue, Snapshot, SnapshotDelta, SnapshotRecord,
+    SNAPSHOT_VERSION,
 };
 pub use span::{span_dyn, SpanGuard, SpanSite};
 

@@ -288,13 +288,20 @@ fn main() -> ExitCode {
                 eprintln!(
                     "unknown argument {other:?}; usage: campaign [--budget N] [--tier T] \
                      [--seed S] [--resume-dir DIR] [--self-test] [--threads N] [--trace FILE] \
-                     [--metrics]"
+                     [--metrics] [--stats-interval MS] [--journal DIR]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
     obs.activate();
+    let _pump = match magseven::serve::TelemetryPump::from_flags(&obs) {
+        Ok(pump) => pump,
+        Err(err) => {
+            eprintln!("telemetry journal: {err}");
+            return ExitCode::from(2);
+        }
+    };
     let plan = CampaignPlan::new(tier, budget);
 
     let code = if selftest {

@@ -298,13 +298,21 @@ fn main() -> ExitCode {
                 eprintln!(
                     "unknown argument {other:?}; usage: eval_service \
                      [--serve|--client|--self-test] [--port P] [--threads N] [--requests N] \
-                     [--seed S] [--cache-dir DIR] [--trace FILE] [--metrics]"
+                     [--seed S] [--cache-dir DIR] [--trace FILE] [--metrics] \
+                     [--stats-interval MS] [--journal DIR]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
     obs.activate();
+    let _pump = match magseven::serve::TelemetryPump::from_flags(&obs) {
+        Ok(pump) => pump,
+        Err(err) => {
+            eprintln!("telemetry journal: {err}");
+            return ExitCode::from(2);
+        }
+    };
     let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     let code = match mode.as_str() {

@@ -44,7 +44,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: fault_campaign [--runs N] [--seed S] \
-                     [--threads T] [--trace FILE] [--metrics]"
+                     [--threads T] [--trace FILE] [--metrics] [--stats-interval MS] \
+                     [--journal DIR]"
                 );
                 std::process::exit(2);
             }
@@ -55,6 +56,13 @@ fn main() {
         std::process::exit(2);
     }
     obs.activate();
+    let _pump = match magseven::serve::TelemetryPump::from_flags(&obs) {
+        Ok(pump) => pump,
+        Err(err) => {
+            eprintln!("telemetry journal: {err}");
+            std::process::exit(2);
+        }
+    };
     let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 
     let result = e11_robustness::run_with_runs_par(seed, runs, par);

@@ -41,7 +41,7 @@ use magseven::trace::ObsFlags;
 fn usage() -> ! {
     eprintln!(
         "usage: run_experiments [--serial] [--cached] [--measured] [--threads N] \
-         [--trace FILE] [--metrics] [slug-prefix]"
+         [--trace FILE] [--metrics] [--stats-interval MS] [--journal DIR] [slug-prefix]"
     );
     std::process::exit(2);
 }
@@ -73,6 +73,13 @@ fn main() {
         }
     }
     obs.activate();
+    let _pump = match magseven::serve::TelemetryPump::from_flags(&obs) {
+        Ok(pump) => pump,
+        Err(err) => {
+            eprintln!("telemetry journal: {err}");
+            std::process::exit(2);
+        }
+    };
     let seed = 42;
     let par = obs.threads.map_or_else(ParConfig::default, ParConfig::with_threads);
 

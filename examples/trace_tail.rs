@@ -1,0 +1,134 @@
+//! Telemetry tail: a text dashboard over a live server or a recovered
+//! flight journal.
+//!
+//! Run with:
+//! - `cargo run --example trace_tail -- --journal DIR` — recover the
+//!   crash-safe journal under DIR (baseline + acked delta prefix, torn
+//!   tail truncated) and render the final pre-crash snapshot.
+//! - `cargo run --example trace_tail -- --port P [--legacy]` — query a
+//!   running `eval_service --serve` instance's live telemetry, over the
+//!   framed binary protocol by default or the legacy text protocol with
+//!   `--legacy`, and render the per-phase latency dashboard.
+//!
+//! Exit codes: 0 on success, 1 when the journal is empty or the server
+//! unreachable, 2 on bad flags.
+
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+
+use magseven::serve::recover_snapshot;
+use magseven::serve::server::{EvalClient, FramedClient};
+use magseven::serve::wire::Response;
+use magseven::trace::{MetricClass, MetricValue, Snapshot};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tail --journal DIR | --port P [--legacy]");
+    std::process::exit(2);
+}
+
+fn render_snapshot(snapshot: &Snapshot, records: usize) {
+    println!(
+        "snapshot seq {} at +{} ms ({} journal records, {} metrics)",
+        snapshot.seq,
+        snapshot.wall_ms,
+        records,
+        snapshot.metrics.entries.len()
+    );
+    for class in [MetricClass::Deterministic, MetricClass::Diagnostic] {
+        let entries: Vec<_> =
+            snapshot.metrics.entries.iter().filter(|e| e.class == class).collect();
+        if entries.is_empty() {
+            continue;
+        }
+        println!(
+            "[{}]",
+            if class == MetricClass::Deterministic { "deterministic" } else { "diagnostic" }
+        );
+        for entry in entries {
+            match &entry.value {
+                MetricValue::Counter(v) => println!("  {:<40} {v}", entry.name),
+                MetricValue::Gauge(v) => println!("  {:<40} {v} (gauge)", entry.name),
+                MetricValue::Histogram(h) => println!(
+                    "  {:<40} n={} mean={:.1} p50<={} p95<={} p99<={}",
+                    entry.name,
+                    h.count,
+                    h.mean(),
+                    h.quantile_upper_bound(0.50),
+                    h.quantile_upper_bound(0.95),
+                    h.quantile_upper_bound(0.99),
+                ),
+            }
+        }
+    }
+}
+
+fn tail_journal(dir: &str) -> i32 {
+    match recover_snapshot(dir) {
+        Ok(Some((snapshot, records))) => {
+            render_snapshot(&snapshot, records);
+            0
+        }
+        Ok(None) => {
+            eprintln!("journal {dir}: no baseline record (nothing was ever published)");
+            1
+        }
+        Err(err) => {
+            eprintln!("journal {dir}: {err}");
+            1
+        }
+    }
+}
+
+fn tail_live(port: u16, legacy: bool) -> i32 {
+    let addr = SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port));
+    let result = if legacy {
+        EvalClient::new(addr).telemetry()
+    } else {
+        FramedClient::connect(addr).and_then(|mut client| client.telemetry())
+    };
+    match result {
+        Ok(Response::Telemetry(stats)) => {
+            let protocol = if legacy { "legacy text" } else { "binary frames" };
+            println!("live telemetry from 127.0.0.1:{port} over {protocol}");
+            print!("{stats}");
+            0
+        }
+        Ok(other) => {
+            eprintln!("server answered {other:?} instead of telemetry");
+            1
+        }
+        Err(err) => {
+            eprintln!("cannot query 127.0.0.1:{port}: {err}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut journal: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut legacy = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--journal" => match args.next() {
+                Some(dir) => journal = Some(dir),
+                None => usage(),
+            },
+            "--port" => match args.next().and_then(|v| v.parse::<u16>().ok()) {
+                Some(p) => port = Some(p),
+                None => {
+                    eprintln!("--port needs a TCP port number");
+                    std::process::exit(2);
+                }
+            },
+            "--legacy" => legacy = true,
+            _ => usage(),
+        }
+    }
+    let code = match (journal, port) {
+        (Some(dir), None) => tail_journal(&dir),
+        (None, Some(p)) => tail_live(p, legacy),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

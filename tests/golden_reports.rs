@@ -15,9 +15,12 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use magseven::par::ParConfig;
+use magseven::serve::{recover_snapshot, FlightJournal};
 use magseven::suite::experiments::{run_all_parallel, run_all_serial, ExperimentId, Timing};
+use magseven::trace::{HubConfig, TelemetryHub};
 
 const ROOT_SEED: u64 = 42;
 
@@ -108,6 +111,42 @@ fn golden_directory_has_no_strays() {
         ExperimentId::ALL.iter().map(|id| id.slug().to_string()).collect();
     expected.sort();
     assert_eq!(found, expected, "tests/golden/ must hold exactly one .txt per experiment slug");
+}
+
+/// The telemetry hub is strictly read-only over the registry: running
+/// the whole suite while it samples at an aggressive 1 ms cadence —
+/// tracing force-enabled, flight journal attached and absorbing every
+/// delta — reproduces every golden byte. A cadence-dependent report
+/// would mean sampling leaked into modeled time or seeds.
+#[test]
+fn hub_sampling_at_any_cadence_leaves_goldens_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("m7-golden-hub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = FlightJournal::open(&dir).expect("open flight journal");
+    let hub = TelemetryHub::start(
+        HubConfig { interval: Duration::from_millis(1) },
+        vec![Box::new(journal)],
+    );
+
+    let reports = run_all_serial(ROOT_SEED, Timing::Modeled);
+    hub.stop();
+
+    for (id, report) in &reports {
+        let golden = std::fs::read_to_string(golden_path(id.slug())).unwrap_or_else(|e| {
+            panic!("missing golden snapshot for {id}: {e} (run the serial golden test first)")
+        });
+        assert!(
+            golden == report.to_string(),
+            "{id} drifted with the hub sampling at 1 ms\n{}",
+            first_divergence(&golden, &report.to_string())
+        );
+    }
+
+    // The journal really was live during the run: it must recover to a
+    // baseline (and, with the suite's registry churn, some deltas).
+    let recovered = recover_snapshot(&dir).expect("recover journal");
+    assert!(recovered.is_some(), "the hub must have journaled at least the baseline");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The parallel runner reproduces the same golden bytes at 1 and 8

@@ -176,6 +176,95 @@ fn concurrent_mixed_clients_agree_with_the_serial_oracle() {
     });
 }
 
+/// Live telemetry rides alongside the full concurrent eval mix without
+/// stalling either side: two pollers — one per protocol — interleave
+/// introspection queries with the 10-client duplicate-heavy eval storm.
+/// Telemetry is answered inline from the parse phase, so every query
+/// completes even while dispatch is stalled inside the evaluator; the
+/// observed request counter must be monotone across polls, the eval
+/// answers still match the serial oracle bit-for-bit, and the final
+/// sample agrees exactly with the cache accounting.
+#[test]
+fn telemetry_queries_ride_alongside_the_eval_storm() {
+    with_watchdog(|| {
+        const POLLS: usize = 40;
+        let config =
+            ServeConfig { cache_capacity: 1024, max_pending: 4096, ..ServeConfig::default() };
+        let handle = Arc::new(
+            EvalServer::spawn(config, Arc::new(StallPoly)).expect("bind telemetry stress server"),
+        );
+
+        let pollers: Vec<_> = (0..2)
+            .map(|poller| {
+                let handle = Arc::clone(&handle);
+                std::thread::spawn(move || {
+                    let addr = handle.addr();
+                    let mut last_requests = 0u64;
+                    for poll in 0..POLLS {
+                        let response = if poller == 0 {
+                            FramedClient::connect_timeout(addr, Duration::from_secs(10))
+                                .and_then(|mut c| c.telemetry())
+                        } else {
+                            EvalClient::new(addr).with_timeout(Duration::from_secs(10)).telemetry()
+                        }
+                        .unwrap_or_else(|e| panic!("poller {poller} poll {poll}: {e}"));
+                        let stats = match response {
+                            Response::Telemetry(stats) => stats,
+                            other => panic!("poller {poller} poll {poll}: unexpected {other:?}"),
+                        };
+                        assert!(
+                            stats.requests >= last_requests,
+                            "poller {poller} poll {poll}: dispatched-request count went backwards"
+                        );
+                        last_requests = stats.requests;
+                    }
+                    last_requests
+                })
+            })
+            .collect();
+
+        let sessions = spawn_clients(&handle);
+        for result in pollers {
+            result.join().expect("telemetry poller panicked");
+        }
+
+        // The eval traffic under interleaved introspection is untouched.
+        for (client, session) in sessions.iter().enumerate() {
+            assert_eq!(session.len(), PER_CLIENT, "client {client} dropped responses");
+            for (step, &(bits, _)) in session.iter().enumerate() {
+                assert_eq!(
+                    bits,
+                    oracle(client, step).to_bits(),
+                    "client {client} step {step}: answer differs from the serial oracle"
+                );
+            }
+        }
+
+        // A final quiesced sample must agree exactly with the cache
+        // accounting: telemetry itself never dispatches, so only the
+        // eval requests count.
+        let final_stats = match FramedClient::connect_timeout(handle.addr(), WATCHDOG)
+            .and_then(|mut c| c.telemetry())
+            .expect("final telemetry query")
+        {
+            Response::Telemetry(stats) => stats,
+            other => panic!("final telemetry query answered {other:?}"),
+        };
+        let total = (CLIENTS * PER_CLIENT) as u64;
+        assert_eq!(final_stats.requests, total, "every eval was dispatched, nothing else");
+        assert_eq!(final_stats.misses, UNIQUE_KEYS as u64, "only first probes can miss");
+        assert_eq!(final_stats.shed, 0, "nothing may be shed under the connection limit");
+        assert!(final_stats.dispatch.count >= 1, "dispatch latency must have samples");
+        assert!(
+            final_stats.parse.p99_ns >= final_stats.parse.p50_ns,
+            "phase quantiles must be ordered"
+        );
+
+        let handle = Arc::into_inner(handle).expect("all clients joined");
+        handle.shutdown();
+    });
+}
+
 /// The disk-tier restart scenario: a stressed server persists its
 /// cache, a *new* server over the same directory answers the identical
 /// concurrent mix bit-for-bit with **zero** misses and **zero**
