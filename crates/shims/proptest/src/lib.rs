@@ -2,7 +2,8 @@
 //!
 //! Implements the subset of the proptest API this repository uses:
 //! range strategies over integers and floats, tuple strategies,
-//! [`collection::vec`], [`Strategy::prop_map`], `bool::ANY`, and the
+//! [`collection::vec`], [`Strategy::prop_map`], `bool::ANY`, unweighted
+//! [`prop_oneof!`], [`any`] over primitives, and the
 //! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
 //!
 //! Differences from upstream, by design:
@@ -101,7 +102,9 @@ tuple_strategy!(
     (A: 0, B: 1, C: 2),
     (A: 0, B: 1, C: 2, D: 3),
     (A: 0, B: 1, C: 2, D: 3, E: 4),
-    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
 );
 
 /// Collection strategies.
@@ -157,6 +160,71 @@ pub mod collection {
     }
 }
 
+/// The strategy built by [`prop_oneof!`]: draws uniformly from a set of
+/// boxed alternatives that share one value type.
+pub struct Union<T> {
+    options: Vec<Box<dyn Fn(&mut ChaCha8Rng) -> T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the boxed alternatives. Used by [`prop_oneof!`]; call sites
+    /// rarely construct this directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Fn(&mut ChaCha8Rng) -> T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        (self.options[pick])(rng)
+    }
+}
+
+/// Picks one of several strategies uniformly per generated case.
+/// Mirrors upstream's unweighted form; all alternatives must yield the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::Union::new(vec![
+            $({
+                let s = $strategy;
+                Box::new(move |rng: &mut $crate::ChaCha8Rng| $crate::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::ChaCha8Rng) -> _>
+            }),+
+        ])
+    }};
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+impl<T: rand::distributions::Standard> Strategy for AnyPrimitive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+        rng.gen()
+    }
+}
+
+/// Full-range strategy over a primitive, mirroring upstream's
+/// `any::<T>()` for the types the vendored rand shim can draw
+/// uniformly (`u32`, `u64`, `bool`, unit-interval floats).
+#[must_use]
+pub fn any<T: rand::distributions::Standard>() -> AnyPrimitive<T> {
+    AnyPrimitive(core::marker::PhantomData)
+}
+
 /// Boolean strategies.
 pub mod bool {
     use super::{ChaCha8Rng, Strategy};
@@ -198,8 +266,8 @@ pub fn seed_for(name: &str) -> u64 {
 /// The things a test body needs in scope.
 pub mod prelude {
     pub use crate::{
-        collection as prop_collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest,
-        Just, Strategy, TestCaseError,
+        any, collection as prop_collection, prop_assert, prop_assert_eq, prop_assert_ne,
+        prop_oneof, proptest, Just, Strategy, TestCaseError,
     };
 
     /// Mirror of upstream's `prelude::prop` module alias.
@@ -310,6 +378,12 @@ mod tests {
         fn map_and_bool(x in (0..10usize).prop_map(|i| i * 2), flip in prop::bool::ANY) {
             prop_assert!(x % 2 == 0 && x < 20);
             prop_assert_eq!(flip || !flip, true);
+        }
+
+        #[test]
+        fn oneof_and_any(x in prop_oneof![0..10u64, 100..110u64], y in any::<u64>()) {
+            prop_assert!(x < 10 || (100..110u64).contains(&x));
+            let _ = y; // full-range draw; nothing further to assert
         }
     }
 

@@ -6,16 +6,18 @@
 //! tax" of ingest/marshalling allow. Experiment E7 sweeps
 //! [`Pipeline::with_kernel_speedup`] and reports the end-to-end curve.
 
-use crate::des::EventQueue;
 use crate::faults::FaultSchedule;
 use crate::sensor::SensorSpec;
 use m7_arch::platform::Platform;
 use m7_arch::workload::KernelProfile;
+use m7_flow::{
+    EdgeSpec, GraphBuilder, LossModel, LossSeed, MessageType, ServerSpec, Service, SinkSpec,
+    SourceSpec,
+};
+use m7_par::ParConfig;
 use m7_trace::{MetricClass, SpanSite, TraceCounter, TraceHistogram};
 use m7_units::{Bytes, BytesPerSecond, Hertz, Seconds};
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 // Closed-loop pipeline observability (no-ops until `m7_trace::enable()`).
 // Stage latencies and frame totals are pure functions of the pipeline
@@ -114,6 +116,38 @@ impl PipelineStats {
         self.frames_lost as f64 / self.frames_in as f64
     }
 }
+
+/// A degenerate pipeline configuration, reported by
+/// [`Pipeline::try_simulate`] instead of panicking or hanging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineConfigError {
+    /// The compute queue has capacity zero: every frame that arrives
+    /// while the stage is busy would be dropped, which is a
+    /// configuration mistake, not a model.
+    ZeroQueueCapacity,
+    /// The simulation duration is negative, NaN, or infinite. (The
+    /// pre-dataflow simulator looped forever on a NaN duration.)
+    InvalidDuration {
+        /// The offending duration in seconds.
+        seconds: f64,
+    },
+}
+
+impl core::fmt::Display for PipelineConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::ZeroQueueCapacity => {
+                write!(f, "queue capacity must be at least 1 (got 0)")
+            }
+            Self::InvalidDuration { seconds } => {
+                write!(f, "simulation duration must be finite and non-negative, got {seconds}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineConfigError {}
 
 /// An end-to-end perception/compute/actuation pipeline.
 ///
@@ -249,9 +283,25 @@ impl Pipeline {
     ///
     /// Frames that arrive while the queue is full are dropped — the
     /// backpressure behaviour of a real perception stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero queue capacity,
+    /// non-finite or negative duration); use [`Pipeline::try_simulate`]
+    /// for a typed error instead.
     #[must_use]
     pub fn simulate(&self, duration: Seconds) -> PipelineStats {
         self.simulate_with_faults(duration, &FaultSchedule::none(), 0)
+    }
+
+    /// Fallible form of [`Pipeline::simulate`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineConfigError`] on a zero-capacity queue or a
+    /// non-finite/negative duration.
+    pub fn try_simulate(&self, duration: Seconds) -> Result<PipelineStats, PipelineConfigError> {
+        self.try_simulate_with_faults(duration, &FaultSchedule::none(), 0)
     }
 
     /// Simulates `duration` of operation under a fault schedule,
@@ -263,6 +313,13 @@ impl Pipeline {
     /// the compute queue — the inter-stage link failures of a real
     /// distributed autonomy stack. With an empty schedule this is
     /// byte-identical to [`Pipeline::simulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate configuration (zero queue capacity,
+    /// non-finite or negative duration); use
+    /// [`Pipeline::try_simulate_with_faults`] for a typed error
+    /// instead.
     #[must_use]
     pub fn simulate_with_faults(
         &self,
@@ -270,70 +327,82 @@ impl Pipeline {
         faults: &FaultSchedule,
         seed: u64,
     ) -> PipelineStats {
-        #[derive(Debug, Clone, Copy, PartialEq)]
-        enum Event {
-            Arrival,
-            Done,
+        match self.try_simulate_with_faults(duration, faults, seed) {
+            Ok(stats) => stats,
+            Err(e) => panic!("invalid pipeline config: {e}"),
+        }
+    }
+
+    /// Fallible form of [`Pipeline::simulate_with_faults`].
+    ///
+    /// The simulation runs as a three-node `m7-flow` dataflow graph —
+    /// sensor source, compute server behind a bounded drop-newest
+    /// queue, actuation sink behind a delay wire — and is bit-identical
+    /// to the pre-dataflow event-loop simulator for every valid
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineConfigError`] on a zero-capacity queue or a
+    /// non-finite/negative duration.
+    pub fn try_simulate_with_faults(
+        &self,
+        duration: Seconds,
+        faults: &FaultSchedule,
+        seed: u64,
+    ) -> Result<PipelineStats, PipelineConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(PipelineConfigError::ZeroQueueCapacity);
+        }
+        if !(duration.value() >= 0.0 && duration.is_finite()) {
+            return Err(PipelineConfigError::InvalidDuration { seconds: duration.value() });
         }
 
         let _span = SIM_SPAN.enter();
         let budget = self.latency_budget();
         let service = budget.ingest + budget.compute;
-        let period = self.sensor.rate().period();
 
-        let mut q: EventQueue<Event> = EventQueue::new();
-        q.schedule(Seconds::ZERO, Event::Arrival);
+        let mut g = GraphBuilder::new("pipeline");
+        let sensor = g
+            .source::<SensorFrame>(
+                "sensor",
+                SourceSpec::new(self.sensor.rate(), self.sensor.payload()),
+            )
+            .expect("sensor specs are validated at construction");
+        let compute = g
+            .server::<SensorFrame, ActuationCmd>(
+                "compute",
+                ServerSpec::new(Service::fixed(service)),
+            )
+            .expect("service time is finite");
+        let actuate = g
+            .sink::<ActuationCmd>("actuate", SinkSpec::new())
+            .expect("sink declaration is infallible");
+        let schedule = faults.clone();
+        g.connect(
+            sensor,
+            compute,
+            EdgeSpec::queue(self.queue_capacity).loss(
+                LossModel::from_fn(move |t| schedule.message_drop_rate(t))
+                    // The historical transport-loss RNG stream, bit for
+                    // bit: one ChaCha8 draw per arrival inside a fault
+                    // window.
+                    .with_seed(LossSeed::Fixed(seed ^ 0x1155_D20B_5EED_0003)),
+            ),
+        )
+        .expect("capacity checked above");
+        g.connect(compute, actuate, EdgeSpec::wire().latency(self.actuation_latency))
+            .expect("wire into sink is valid");
+        let graph = g.seal(ParConfig::serial()).expect("three-node chain is well-formed");
+        let report = graph.run(duration).expect("duration checked above");
 
-        let mut waiting: VecDeque<Seconds> = VecDeque::new();
-        let mut busy = false;
-        let mut in_service_arrival = Seconds::ZERO;
-        let mut frames_in = 0u64;
-        let mut frames_processed = 0u64;
-        let mut frames_dropped = 0u64;
-        let mut frames_lost = 0u64;
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut link = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x1155_D20B_5EED_0003);
-
-        while let Some((now, event)) = q.pop() {
-            if now > duration {
-                break;
-            }
-            match event {
-                Event::Arrival => {
-                    frames_in += 1;
-                    let drop_rate = faults.message_drop_rate(now);
-                    if drop_rate > 0.0 && link.gen_bool(drop_rate) {
-                        frames_lost += 1;
-                        q.schedule(now + period, Event::Arrival);
-                        continue;
-                    }
-                    if busy {
-                        if waiting.len() >= self.queue_capacity {
-                            frames_dropped += 1;
-                        } else {
-                            waiting.push_back(now);
-                        }
-                    } else {
-                        busy = true;
-                        in_service_arrival = now;
-                        q.schedule(now + service, Event::Done);
-                    }
-                    q.schedule(now + period, Event::Arrival);
-                }
-                Event::Done => {
-                    frames_processed += 1;
-                    let end_to_end = now + self.actuation_latency - in_service_arrival;
-                    latencies.push(end_to_end.value());
-                    match waiting.pop_front() {
-                        Some(arrival) => {
-                            in_service_arrival = arrival;
-                            q.schedule(now + service, Event::Done);
-                        }
-                        None => busy = false,
-                    }
-                }
-            }
-        }
+        let frames_in = report.node("sensor").expect("declared above").fired;
+        let compute_node = report.node("compute").expect("declared above");
+        let frames_processed = compute_node.processed;
+        let link = report.edge("sensor", "compute").expect("declared above");
+        let frames_dropped = link.dropped;
+        let frames_lost = link.lost;
+        let mut latencies = report.node("actuate").expect("declared above").latencies.clone();
 
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let mean = if latencies.is_empty() {
@@ -362,7 +431,7 @@ impl Pipeline {
             COMPUTE_SPAN.complete_modeled(ingest, compute);
             ACTUATE_SPAN.complete_modeled(ingest.saturating_add(compute), actuate);
         }
-        PipelineStats {
+        Ok(PipelineStats {
             frames_in,
             frames_processed,
             frames_dropped,
@@ -370,8 +439,20 @@ impl Pipeline {
             mean_latency: Seconds::new(mean),
             p99_latency: Seconds::new(p99),
             throughput: Hertz::new(frames_processed as f64 / duration.value().max(1e-12)),
-        }
+        })
     }
+}
+
+/// The sensor's frame payload flowing into the compute stage.
+struct SensorFrame;
+impl MessageType for SensorFrame {
+    const NAME: &'static str = "sensor_frame";
+}
+
+/// The compute stage's command flowing to the actuator.
+struct ActuationCmd;
+impl MessageType for ActuationCmd {
+    const NAME: &'static str = "actuation_cmd";
 }
 
 #[cfg(test)]
@@ -493,6 +574,45 @@ mod tests {
             stats.frames_lost,
             p.simulate_with_faults(Seconds::new(10.0), &schedule, 2).frames_lost
         );
+    }
+
+    #[test]
+    fn zero_capacity_is_a_typed_error() {
+        let p = vga_pipeline(PlatformKind::Gpu).with_queue_capacity(0);
+        assert_eq!(p.try_simulate(Seconds::new(1.0)), Err(PipelineConfigError::ZeroQueueCapacity));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pipeline config")]
+    fn zero_capacity_panics_in_the_legacy_api() {
+        let _ = vga_pipeline(PlatformKind::Gpu).with_queue_capacity(0).simulate(Seconds::new(1.0));
+    }
+
+    #[test]
+    fn degenerate_durations_are_typed_errors() {
+        let p = vga_pipeline(PlatformKind::Gpu);
+        // The pre-dataflow simulator looped forever on NaN.
+        assert!(matches!(
+            p.try_simulate(Seconds::new(f64::NAN)),
+            Err(PipelineConfigError::InvalidDuration { .. })
+        ));
+        assert!(matches!(
+            p.try_simulate(Seconds::new(-1.0)),
+            Err(PipelineConfigError::InvalidDuration { .. })
+        ));
+        assert!(matches!(
+            p.try_simulate(Seconds::new(f64::INFINITY)),
+            Err(PipelineConfigError::InvalidDuration { .. })
+        ));
+        // Zero duration is valid: the t=0 arrival is still processed.
+        let stats = p.try_simulate(Seconds::ZERO).expect("zero duration is fine");
+        assert_eq!(stats.frames_in, 1);
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate() {
+        let p = hd_pipeline(PlatformKind::CpuScalar);
+        assert_eq!(p.try_simulate(Seconds::new(5.0)).unwrap(), p.simulate(Seconds::new(5.0)));
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //! | E12 | §2.1 + §3.1 | procedural scenarios grade tiers; falsification finds the failure frontier |
 //! | E13 | §2.5 | vectorized kernels placed on (and checked against) the roofline |
 //! | E14 | §2.1 + §3.1 | streaming campaigns: stratified coverage with importance splitting |
+//! | E15 | §2.5 + §2.6 | multi-rate fusion graph: placement, DVFS, and backpressure tradeoffs |
 
 pub mod e10_contention;
 pub mod e11_robustness;
 pub mod e12_scenarios;
 pub mod e13_roofline;
 pub mod e14_campaign;
+pub mod e15_fusion;
 pub mod e1_growth;
 pub mod e2_bridges;
 pub mod e3_metrics;
@@ -85,13 +87,15 @@ pub enum ExperimentId {
     E13Roofline,
     /// E14 — streaming mega-campaigns over scenario space (§2.1 + §3.1).
     E14Campaign,
+    /// E15 — multi-rate sensor-fusion dataflow graph (§2.5 + §2.6).
+    E15Fusion,
 }
 
 impl ExperimentId {
-    /// All experiments, in paper order. E13 and E14 are appended at the
+    /// All experiments, in paper order. E13–E15 are appended at the
     /// end so the position-derived per-experiment seeds of earlier
     /// experiments are unchanged.
-    pub const ALL: [Self; 14] = [
+    pub const ALL: [Self; 15] = [
         Self::E1Growth,
         Self::E2Bridges,
         Self::E3Metrics,
@@ -106,6 +110,7 @@ impl ExperimentId {
         Self::E12Scenarios,
         Self::E13Roofline,
         Self::E14Campaign,
+        Self::E15Fusion,
     ];
 
     /// Short identifier used in file names and bench targets.
@@ -126,6 +131,7 @@ impl ExperimentId {
             Self::E12Scenarios => "e12_scenarios",
             Self::E13Roofline => "e13_roofline",
             Self::E14Campaign => "e14_campaign",
+            Self::E15Fusion => "e15_fusion",
         }
     }
 
@@ -154,6 +160,9 @@ impl ExperimentId {
             }
             Self::E14Campaign => {
                 "§2.1+§3.1: streaming campaigns pin per-stratum success curves at scale"
+            }
+            Self::E15Fusion => {
+                "§2.5+§2.6: one fusion graph, three placements — contention, DVFS, backpressure"
             }
         }
     }
@@ -188,6 +197,7 @@ impl ExperimentId {
             Self::E12Scenarios => e12_scenarios::run(seed).report(),
             Self::E13Roofline => e13_roofline::run_with(seed, timing).report(),
             Self::E14Campaign => e14_campaign::run(seed).report(),
+            Self::E15Fusion => e15_fusion::run(seed, m7_par::ParConfig::default()).report(),
         }
     }
 
@@ -482,7 +492,7 @@ mod tests {
     fn select_resolves_prefixes_and_defaults_to_all() {
         assert_eq!(select(None).unwrap(), ExperimentId::ALL.to_vec());
         assert_eq!(select(Some("e5")).unwrap(), vec![ExperimentId::E5Brakes]);
-        // "e1" prefixes e1, e10, e11, e12, e13, and e14.
+        // "e1" prefixes e1, e10, e11, e12, e13, e14, and e15.
         assert_eq!(
             select(Some("e1")).unwrap(),
             vec![
@@ -492,6 +502,7 @@ mod tests {
                 ExperimentId::E12Scenarios,
                 ExperimentId::E13Roofline,
                 ExperimentId::E14Campaign,
+                ExperimentId::E15Fusion,
             ]
         );
     }

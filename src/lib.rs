@@ -11,9 +11,11 @@
 //! - [`kernels`] — executable autonomy kernels ([`m7_kernels`])
 //! - [`arch`] — platform and cost models ([`m7_arch`])
 //! - [`sim`] — end-to-end closed-loop simulator ([`m7_sim`])
+//! - [`flow`] — typed dataflow-graph runtime for multi-rate
+//!   perception → planning → control pipelines ([`m7_flow`])
 //! - [`dse`] — design-space exploration ([`m7_dse`])
 //! - [`lca`] — lifecycle/carbon analysis ([`m7_lca`])
-//! - [`suite`] — benchmark suite and experiments E1..E14 ([`m7_suite`])
+//! - [`suite`] — benchmark suite and experiments E1..E15 ([`m7_suite`])
 //! - [`par`] — deterministic parallel runtime ([`m7_par`])
 //! - [`scen`] — procedural scenario generation, scenario DSL, and
 //!   adversarial falsification ([`m7_scen`])
@@ -40,6 +42,7 @@ pub use m7_arch as arch;
 pub use m7_bench as bench;
 pub use m7_camp as camp;
 pub use m7_dse as dse;
+pub use m7_flow as flow;
 pub use m7_kernels as kernels;
 pub use m7_lca as lca;
 pub use m7_par as par;
@@ -68,6 +71,10 @@ pub mod prelude {
         moga::nsga2,
         pareto::pareto_front,
         space::DesignSpace,
+    };
+    pub use m7_flow::{
+        EdgeSpec, FlowError, GraphBuilder, GraphReport, LossModel, MessageType, Placement,
+        QueuePolicy, ServerSpec, Service, SinkSpec, SourceSpec,
     };
     pub use m7_kernels::{
         control::{Lqr, Pid, TrapezoidalProfile},
